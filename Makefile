@@ -1,0 +1,45 @@
+# adaptiveba — reproduction of "Make Every Word Count" (PODC 2022).
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments examples fuzz cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode skips the heavyweight safety sweeps.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure of the paper (EXPERIMENTS.md data).
+experiments:
+	$(GO) run ./cmd/adaptiveba-bench -all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/adaptive-sweep
+	$(GO) run ./examples/byzantine-faults
+	$(GO) run ./examples/replicated-log
+	$(GO) run ./examples/tcp-cluster
+
+fuzz:
+	$(GO) test ./internal/wire -fuzz FuzzDecodePayload -fuzztime 30s
+	$(GO) test ./internal/core/bb -fuzz FuzzDecodeValue -fuzztime 30s
+
+cover:
+	$(GO) test ./... -coverprofile=cover.out
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,246 @@
+// Package adaptiveba is a from-scratch Go implementation of the protocols
+// in "Make Every Word Count: Adaptive Byzantine Agreement with Fewer
+// Words" (Cohen, Keidar, Spiegelman — PODC 2022): Byzantine Broadcast and
+// weak Byzantine Agreement with O(n(f+1)) communication at optimal
+// resilience n = 2t+1, and a binary strong BA that is linear in the
+// failure-free case.
+//
+// The package offers three one-shot entry points — Broadcast, WeakAgree,
+// and StrongAgreeBinary — that execute a full protocol run on the
+// built-in deterministic synchronous simulator and report the decision
+// together with the paper's cost metrics (words sent by correct
+// processes). Fault injection is configured through Options.
+//
+// For networked deployments, lower-level building blocks (the protocol
+// state machines, the TCP runtime, the adversary library, and the
+// experiment harness) live under internal/; the cmd/ binaries expose them
+// on the command line.
+package adaptiveba
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"adaptiveba/internal/harness"
+	"adaptiveba/internal/types"
+)
+
+// FaultPattern selects how the run's f corrupted processes misbehave.
+type FaultPattern string
+
+// Fault patterns supported by the one-shot API.
+const (
+	// FaultCrash stops processes 1..f (the first rotating leaders; the
+	// worst crash placement for the adaptive protocols).
+	FaultCrash FaultPattern = "crash"
+	// FaultCrashLeader stops processes 0..f-1, including the designated
+	// sender/leader p0.
+	FaultCrashLeader FaultPattern = "crash-leader"
+	// FaultReplay stops the corrupted processes and replays stale honest
+	// traffic from their identities.
+	FaultReplay FaultPattern = "replay"
+)
+
+// Options configures a run.
+type Options struct {
+	// N is the number of processes (n = 2t+1; even n tolerates the same
+	// t as n-1). Required, at least 3.
+	N int
+	// Faults is the number of corrupted processes f (0 ≤ f ≤ t).
+	Faults int
+	// Pattern selects the corruption behaviour (default FaultCrash).
+	Pattern FaultPattern
+	// Seed drives randomized fault patterns.
+	Seed int64
+	// RealSignatures switches from fast HMAC authenticators to Ed25519.
+	RealSignatures bool
+	// Trace, if non-nil, receives a per-message trace of the run.
+	Trace io.Writer
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Decision is the agreed value; nil means the protocol decided ⊥.
+	Decision []byte
+	// Bottom reports a ⊥ decision explicitly.
+	Bottom bool
+	// Agreement is true when all correct processes decided identically
+	// (it always should be; exposed for test harnesses and paranoia).
+	Agreement bool
+	// AllDecided is true when every correct process terminated with a
+	// decision.
+	AllDecided bool
+	// Words is the paper's cost measure: words sent by correct processes.
+	Words int64
+	// Messages is the number of messages sent by correct processes.
+	Messages int64
+	// Ticks is the run's duration in δ units.
+	Ticks int64
+	// FallbackProcesses is the number of correct processes that executed
+	// the quadratic fallback algorithm.
+	FallbackProcesses int
+	// LayerWords breaks Words down per protocol layer (the composition
+	// of Figure 1 in the paper).
+	LayerWords map[string]int64
+}
+
+// Errors returned by the public API.
+var (
+	// ErrOptions reports invalid Options.
+	ErrOptions = errors.New("adaptiveba: invalid options")
+	// ErrInputs reports invalid protocol inputs.
+	ErrInputs = errors.New("adaptiveba: invalid inputs")
+)
+
+// Broadcast runs the adaptive Byzantine Broadcast (paper Algorithms 1–2)
+// with process 0 as the designated sender broadcasting value. When the
+// sender stays correct, the decision is value at every correct process;
+// with a corrupted sender the decision is some common value or ⊥.
+func Broadcast(opts Options, value []byte) (*Result, error) {
+	spec, err := baseSpec(opts)
+	if err != nil {
+		return nil, err
+	}
+	spec.Protocol = harness.ProtocolBB
+	spec.Value = types.Value(value).Clone()
+	return runSpec(spec)
+}
+
+// WeakAgree runs the adaptive weak Byzantine Agreement (Algorithms 3–4)
+// with one input per process (inputs[i] is process i's proposal) and the
+// given validity predicate; a nil predicate accepts any non-empty value.
+// Unique validity guarantees the decision satisfies the predicate or is ⊥,
+// and ⊥ only when several valid values existed in the run.
+func WeakAgree(opts Options, inputs [][]byte, predicate func([]byte) bool) (*Result, error) {
+	spec, err := baseSpec(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(inputs) != opts.N {
+		return nil, fmt.Errorf("%w: need %d inputs, got %d", ErrInputs, opts.N, len(inputs))
+	}
+	spec.Protocol = harness.ProtocolWBA
+	spec.PerProcessInputs = make([]types.Value, len(inputs))
+	for i, in := range inputs {
+		if len(in) == 0 {
+			return nil, fmt.Errorf("%w: process %d has an empty input", ErrInputs, i)
+		}
+		spec.PerProcessInputs[i] = types.Value(in).Clone()
+	}
+	if predicate != nil {
+		spec.Predicate = func(v types.Value) bool { return predicate([]byte(v)) }
+	}
+	return runSpec(spec)
+}
+
+// StrongAgreeBinary runs the binary strong BA (Algorithm 5): inputs[i] is
+// process i's bit. If all correct processes propose the same bit, that
+// bit is the decision; the cost is O(n) words when no process fails.
+func StrongAgreeBinary(opts Options, inputs []bool) (*Result, error) {
+	spec, err := baseSpec(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(inputs) != opts.N {
+		return nil, fmt.Errorf("%w: need %d inputs, got %d", ErrInputs, opts.N, len(inputs))
+	}
+	spec.Protocol = harness.ProtocolStrongBA
+	spec.PerProcessInputs = make([]types.Value, len(inputs))
+	for i, b := range inputs {
+		spec.PerProcessInputs[i] = types.BinaryValue(b)
+	}
+	return runSpec(spec)
+}
+
+// AgreeStrong runs multivalued strong Byzantine Agreement: if all correct
+// processes propose the same value, that value is decided. Unlike the
+// adaptive protocols, its cost does not adapt to f — it is the quadratic+
+// A_fallback (n parallel authenticated broadcasts and a plurality vote)
+// run directly, provided for completeness of the problem family (the
+// paper's Table 1 cites Momose–Ren for this row).
+func AgreeStrong(opts Options, inputs [][]byte) (*Result, error) {
+	spec, err := baseSpec(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(inputs) != opts.N {
+		return nil, fmt.Errorf("%w: need %d inputs, got %d", ErrInputs, opts.N, len(inputs))
+	}
+	spec.Protocol = harness.ProtocolFallback
+	spec.PerProcessInputs = make([]types.Value, len(inputs))
+	for i, in := range inputs {
+		if len(in) == 0 {
+			return nil, fmt.Errorf("%w: process %d has an empty input", ErrInputs, i)
+		}
+		spec.PerProcessInputs[i] = types.Value(in).Clone()
+	}
+	return runSpec(spec)
+}
+
+// Bit converts a binary decision back to a bool. ok is false for ⊥ or
+// non-binary decisions.
+func (r *Result) Bit() (bit, ok bool) {
+	v := types.Value(r.Decision)
+	if !v.IsBinary() {
+		return false, false
+	}
+	return v.Equal(types.One), true
+}
+
+// baseSpec validates options into a harness spec.
+func baseSpec(opts Options) (harness.Spec, error) {
+	if opts.N < 3 {
+		return harness.Spec{}, fmt.Errorf("%w: n=%d (need at least 3)", ErrOptions, opts.N)
+	}
+	params, err := types.NewParams(opts.N)
+	if err != nil {
+		return harness.Spec{}, fmt.Errorf("%w: %v", ErrOptions, err)
+	}
+	if opts.Faults < 0 || opts.Faults > params.T {
+		return harness.Spec{}, fmt.Errorf("%w: f=%d exceeds t=%d", ErrOptions, opts.Faults, params.T)
+	}
+	spec := harness.Spec{
+		N:       opts.N,
+		F:       opts.Faults,
+		Seed:    opts.Seed,
+		Ed25519: opts.RealSignatures,
+		Trace:   opts.Trace,
+	}
+	switch opts.Pattern {
+	case "", FaultCrash:
+		spec.Fault = harness.FaultCrash
+	case FaultCrashLeader:
+		spec.Fault = harness.FaultCrashLeader
+	case FaultReplay:
+		spec.Fault = harness.FaultReplay
+	default:
+		return harness.Spec{}, fmt.Errorf("%w: unknown fault pattern %q", ErrOptions, opts.Pattern)
+	}
+	return spec, nil
+}
+
+// runSpec executes and converts the outcome.
+func runSpec(spec harness.Spec) (*Result, error) {
+	o, err := harness.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Bottom:            o.Decision.IsBottom(),
+		Agreement:         o.Agreement,
+		AllDecided:        o.Decided,
+		Words:             o.Words,
+		Messages:          o.Messages,
+		Ticks:             int64(o.Ticks),
+		FallbackProcesses: o.FallbackCount,
+		LayerWords:        make(map[string]int64, len(o.ByLayer)),
+	}
+	if !o.Decision.IsBottom() {
+		res.Decision = append([]byte(nil), o.Decision...)
+	}
+	for layer, s := range o.ByLayer {
+		res.LayerWords[layer] = s.Words
+	}
+	return res, nil
+}

@@ -1,0 +1,197 @@
+// Benchmark harness: one benchmark family per table/figure of the paper
+// (DESIGN.md §3 maps each to its experiment id). Every benchmark runs
+// full protocol executions on the deterministic simulator and reports the
+// paper's cost measure — words sent by correct processes — as the
+// "words/run" metric next to the usual time/op.
+//
+//	go test -bench=. -benchmem
+//
+// The same data in table form: go run ./cmd/adaptiveba-bench -all
+package adaptiveba
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/harness"
+)
+
+// benchSpec runs one spec b.N times and reports the word complexity.
+func benchSpec(b *testing.B, spec harness.Spec) {
+	b.Helper()
+	var words, msgs int64
+	for i := 0; i < b.N; i++ {
+		o, err := harness.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !o.Decided || !o.Agreement {
+			b.Fatalf("run violated correctness: decided=%v agreement=%v", o.Decided, o.Agreement)
+		}
+		words, msgs = o.Words, o.Messages
+	}
+	b.ReportMetric(float64(words), "words/run")
+	b.ReportMetric(float64(msgs), "msgs/run")
+	b.ReportMetric(float64(words)/float64(spec.N), "words/proc")
+}
+
+// BenchmarkTable1BB regenerates Table 1's Byzantine Broadcast row:
+// O(n(f+1)) words, linear at f=0, worst case exercised by phase-spamming
+// Byzantine leaders (experiment t1-bb).
+func BenchmarkTable1BB(b *testing.B) {
+	for _, n := range []int{11, 41, 101} {
+		b.Run(fmt.Sprintf("f0/n=%d", n), func(b *testing.B) {
+			benchSpec(b, harness.Spec{Protocol: harness.ProtocolBB, N: n})
+		})
+	}
+	for _, f := range []int{2, 6, 10} {
+		b.Run(fmt.Sprintf("spam/n=41/f=%d", f), func(b *testing.B) {
+			benchSpec(b, harness.Spec{Protocol: harness.ProtocolBB, N: 41, F: f, Fault: harness.FaultSpam})
+		})
+	}
+	b.Run("fallback-regime/n=41/f=12", func(b *testing.B) {
+		benchSpec(b, harness.Spec{Protocol: harness.ProtocolBB, N: 41, F: 12})
+	})
+}
+
+// BenchmarkTable1StrongBA regenerates Table 1's strong BA row: O(n) words
+// at f=0 (Lemma 8), quadratic+ otherwise (experiment t1-strongba).
+func BenchmarkTable1StrongBA(b *testing.B) {
+	for _, n := range []int{11, 41, 101, 201} {
+		b.Run(fmt.Sprintf("f0/n=%d", n), func(b *testing.B) {
+			benchSpec(b, harness.Spec{Protocol: harness.ProtocolStrongBA, N: n})
+		})
+	}
+	b.Run("fallback/n=21/f=1", func(b *testing.B) {
+		benchSpec(b, harness.Spec{Protocol: harness.ProtocolStrongBA, N: 21, F: 1})
+	})
+	b.Run("fallback/n=21/f=10", func(b *testing.B) {
+		benchSpec(b, harness.Spec{Protocol: harness.ProtocolStrongBA, N: 21, F: 10})
+	})
+}
+
+// BenchmarkTable1WeakBA regenerates Table 1's weak BA row: O(n(f+1))
+// words with the fallback threshold at (n-t-1)/2 (experiment t1-wba).
+func BenchmarkTable1WeakBA(b *testing.B) {
+	for _, n := range []int{11, 41, 101} {
+		b.Run(fmt.Sprintf("f0/n=%d", n), func(b *testing.B) {
+			benchSpec(b, harness.Spec{Protocol: harness.ProtocolWBA, N: n})
+		})
+	}
+	for _, f := range []int{4, 10} {
+		b.Run(fmt.Sprintf("spam/n=41/f=%d", f), func(b *testing.B) {
+			benchSpec(b, harness.Spec{Protocol: harness.ProtocolWBA, N: 41, F: f, Fault: harness.FaultSpam})
+		})
+	}
+	b.Run("fallback-regime/n=41/f=11", func(b *testing.B) {
+		benchSpec(b, harness.Spec{Protocol: harness.ProtocolWBA, N: 41, F: 11})
+	})
+}
+
+// BenchmarkFigure1Composition exercises the full composition of Figure 1
+// (BB over weak BA over A_fallback) and reports the per-layer split.
+func BenchmarkFigure1Composition(b *testing.B) {
+	for _, f := range []int{0, 4, 12} {
+		b.Run(fmt.Sprintf("n=41/f=%d", f), func(b *testing.B) {
+			var rootWords, wbaWords, fbWords int64
+			for i := 0; i < b.N; i++ {
+				o, err := harness.Run(harness.Spec{Protocol: harness.ProtocolBB, N: 41, F: f})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rootWords, wbaWords, fbWords = 0, 0, 0
+				for layer, s := range o.ByLayer {
+					switch {
+					case layer == "(root)":
+						rootWords += s.Words
+					case layer == "wba":
+						wbaWords += s.Words
+					default:
+						fbWords += s.Words
+					}
+				}
+			}
+			b.ReportMetric(float64(rootWords), "bb-words/run")
+			b.ReportMetric(float64(wbaWords), "wba-words/run")
+			b.ReportMetric(float64(fbWords), "fallback-words/run")
+		})
+	}
+}
+
+// BenchmarkAdaptivity compares the adaptive BB against the quadratic
+// baselines at the same (n, f) (experiment adapt).
+func BenchmarkAdaptivity(b *testing.B) {
+	for _, f := range []int{0, 8} {
+		b.Run(fmt.Sprintf("adaptive-bb/f=%d", f), func(b *testing.B) {
+			benchSpec(b, harness.Spec{Protocol: harness.ProtocolBB, N: 41, F: f, Fault: harness.FaultSpam})
+		})
+		b.Run(fmt.Sprintf("echo-bb/f=%d", f), func(b *testing.B) {
+			benchSpec(b, harness.Spec{Protocol: harness.ProtocolEchoBB, N: 41, F: f})
+		})
+	}
+}
+
+// BenchmarkBaselineDolevStrong regenerates the Section 4 contrast: the
+// classic protocol pays Θ(n²)+ words even failure-free (experiment dr).
+func BenchmarkBaselineDolevStrong(b *testing.B) {
+	for _, n := range []int{11, 41, 101} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSpec(b, harness.Spec{Protocol: harness.ProtocolDolevStrong, N: n})
+		})
+	}
+}
+
+// BenchmarkAblationPhaseCount compares Algorithm 3's t+1 phases against
+// the n phases of the Section 6 prose (experiment ablate-phases).
+func BenchmarkAblationPhaseCount(b *testing.B) {
+	b.Run("t+1-phases", func(b *testing.B) {
+		benchSpec(b, harness.Spec{Protocol: harness.ProtocolWBA, N: 41, F: 4})
+	})
+	b.Run("n-phases", func(b *testing.B) {
+		benchSpec(b, harness.Spec{Protocol: harness.ProtocolWBA, N: 41, F: 4, WBAPhases: 41})
+	})
+}
+
+// BenchmarkAblationSilentPhases shows the silent-phase rule IS the
+// adaptivity: without it the cost reverts to Θ(n·t) (experiment
+// ablate-silent).
+func BenchmarkAblationSilentPhases(b *testing.B) {
+	b.Run("silent-on", func(b *testing.B) {
+		benchSpec(b, harness.Spec{Protocol: harness.ProtocolWBA, N: 41})
+	})
+	b.Run("silent-off", func(b *testing.B) {
+		benchSpec(b, harness.Spec{Protocol: harness.ProtocolWBA, N: 41, DisableSilentPhases: true})
+	})
+}
+
+// BenchmarkAblationCertEncoding compares the word-equal but byte-unequal
+// certificate encodings end to end (experiment ablate-cert).
+func BenchmarkAblationCertEncoding(b *testing.B) {
+	b.Run("compact", func(b *testing.B) {
+		benchSpec(b, harness.Spec{Protocol: harness.ProtocolWBA, N: 21, F: 2})
+	})
+	b.Run("aggregate", func(b *testing.B) {
+		benchSpec(b, harness.Spec{Protocol: harness.ProtocolWBA, N: 21, F: 2, CertMode: threshold.ModeAggregate})
+	})
+}
+
+// BenchmarkAblationQuorum measures the defended configuration under the
+// split-vote attack (the undefended one violates safety and is asserted
+// in the test suite, not benchmarked — see experiment ablate-quorum).
+func BenchmarkAblationQuorum(b *testing.B) {
+	b.Run("paper-quorum-under-attack", func(b *testing.B) {
+		benchSpec(b, harness.Spec{Protocol: harness.ProtocolWBA, N: 9, F: 4, Fault: harness.FaultSpam})
+	})
+}
+
+// BenchmarkSignatureSchemes contrasts the simulation-grade HMAC scheme
+// with real Ed25519 signatures on the same protocol run.
+func BenchmarkSignatureSchemes(b *testing.B) {
+	b.Run("hmac", func(b *testing.B) {
+		benchSpec(b, harness.Spec{Protocol: harness.ProtocolBB, N: 21, F: 2})
+	})
+	b.Run("ed25519", func(b *testing.B) {
+		benchSpec(b, harness.Spec{Protocol: harness.ProtocolBB, N: 21, F: 2, Ed25519: true})
+	})
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"t1-bb", "t1-wba", "t1-strongba", "f1", "ablate-quorum", "dr-sigs"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunOneExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "ablate-cert"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "aggregate") {
+		t.Errorf("report missing content:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "missing"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run(nil, &out); err == nil {
+		t.Error("no mode accepted")
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sweep", "-protocol", "wba", "-ns", "5,9", "-fs", "0,1", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "protocol,n,t,f") {
+		t.Errorf("CSV header missing:\n%s", got)
+	}
+	if !strings.Contains(got, "wba,9,4,1") {
+		t.Errorf("CSV rows missing:\n%s", got)
+	}
+}
+
+func TestSweepTable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sweep", "-ns", "5", "-fs", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bb") {
+		t.Errorf("table missing:\n%s", out.String())
+	}
+}
+
+func TestSweepBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sweep", "-ns", "x"}, &out); err == nil {
+		t.Error("bad ns accepted")
+	}
+	if err := run([]string{"-sweep", "-ns", ""}, &out); err == nil {
+		t.Error("empty ns accepted")
+	}
+}
+
+func TestSweepPlot(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sweep", "-protocol", "bb", "-ns", "11", "-fs", "0,2", "-plot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "bb: words vs f") || !strings.Contains(got, "legend: * n=11") {
+		t.Errorf("plot output:\n%s", got)
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBB(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "bb", "-n", "9", "-f", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"protocol    bb", "decision    v", "agreement   true", "per-layer"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunStrongBATrace(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "strongba", "-n", "5", "-trace"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sba/input") {
+		t.Errorf("trace missing:\n%.300s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "nope", "-n", "5"}, &out); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-n", "5", "-f", "3"}, &out); err == nil {
+		t.Error("f > t accepted")
+	}
+}

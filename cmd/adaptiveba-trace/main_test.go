@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"adaptiveba/internal/types"
+)
+
+func TestTraceSummary(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "wba", "-n", "9", "-f", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"wba run:", "wba/propose", "wba/finalized", "from p2"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q:\n%s", want, got)
+		}
+	}
+	// The crashed p1's phase is silent: no propose from p1.
+	if strings.Contains(got, "wba/propose") && strings.Contains(got, "from p1\n") {
+		t.Errorf("crashed leader's phase not silent:\n%s", got)
+	}
+}
+
+func TestTraceExpanded(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "strongba", "-n", "5", "-expand", "-max-ticks", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "p1 -> p0") {
+		t.Errorf("expanded trace:\n%s", out.String())
+	}
+}
+
+func TestTraceBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "nope"}, &out); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestSenderSummaryRanges(t *testing.T) {
+	froms := map[types.ProcessID]bool{0: true, 1: true, 2: true, 5: true, 7: true, 8: true}
+	if got := senderSummary(froms); got != "p0..p2,p5,p7..p8" {
+		t.Errorf("senderSummary = %q", got)
+	}
+	if got := senderSummary(nil); got != "-" {
+		t.Errorf("empty = %q", got)
+	}
+	if got := senderSummary(map[types.ProcessID]bool{3: true}); got != "p3" {
+		t.Errorf("single = %q", got)
+	}
+}

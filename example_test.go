@@ -1,0 +1,104 @@
+package adaptiveba_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"adaptiveba"
+)
+
+// The simplest use: a designated sender broadcasts a value to n processes
+// with Byzantine fault tolerance. In failure-free runs this costs O(n)
+// words — not the classic Θ(n²).
+func ExampleBroadcast() {
+	res, err := adaptiveba.Broadcast(adaptiveba.Options{N: 9}, []byte("block #1"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("decision=%s agreement=%v\n", res.Decision, res.Agreement)
+	// Output:
+	// decision=block #1 agreement=true
+}
+
+// Broadcast tolerates up to t = (n-1)/2 corrupted processes; here two
+// processes crash and validity still holds.
+func ExampleBroadcast_withFaults() {
+	res, err := adaptiveba.Broadcast(adaptiveba.Options{N: 9, Faults: 2}, []byte("v"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("decision=%s fallback-processes=%d\n", res.Decision, res.FallbackProcesses)
+	// Output:
+	// decision=v fallback-processes=0
+}
+
+// Weak Byzantine Agreement decides a value satisfying an application
+// predicate (unique validity): every process proposes, and the decision
+// is one of the valid proposals, or ⊥ only if several valid values
+// circulated.
+func ExampleWeakAgree() {
+	inputs := [][]byte{
+		[]byte("tx:a"), []byte("tx:a"), []byte("tx:a"),
+		[]byte("tx:a"), []byte("tx:a"),
+	}
+	isTx := func(v []byte) bool { return bytes.HasPrefix(v, []byte("tx:")) }
+	res, err := adaptiveba.WeakAgree(adaptiveba.Options{N: 5}, inputs, isTx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("decision=%s\n", res.Decision)
+	// Output:
+	// decision=tx:a
+}
+
+// Binary strong BA guarantees strong unanimity: if every correct process
+// proposes the same bit, that bit wins — at O(n) words when failure-free.
+func ExampleStrongAgreeBinary() {
+	inputs := []bool{true, true, true, true, true, true, true, true, true}
+	res, err := adaptiveba.StrongAgreeBinary(adaptiveba.Options{N: 9}, inputs)
+	if err != nil {
+		panic(err)
+	}
+	bit, ok := res.Bit()
+	fmt.Printf("bit=%v ok=%v\n", bit, ok)
+	// Output:
+	// bit=true ok=true
+}
+
+// ReplicateLog turns the broadcast into a totally-ordered replicated log:
+// one slot per adaptive Byzantine Broadcast, rotating proposers.
+func ExampleReplicateLog() {
+	queues := [][][]byte{
+		{[]byte("SET a=1")},
+		{[]byte("SET b=2")},
+		{[]byte("SET c=3")},
+	}
+	res, err := adaptiveba.ReplicateLog(adaptiveba.Options{N: 3}, queues, 3)
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range res.Entries {
+		fmt.Printf("slot %d: %s\n", e.Slot, e.Command)
+	}
+	// Output:
+	// slot 0: SET a=1
+	// slot 1: SET b=2
+	// slot 2: SET c=3
+}
+
+// AgreeStrong is the multivalued strong agreement (the non-adaptive
+// fallback run directly): if every correct process proposes the same
+// value, it wins.
+func ExampleAgreeStrong() {
+	inputs := [][]byte{
+		[]byte("state-root-9c"), []byte("state-root-9c"), []byte("state-root-9c"),
+		[]byte("state-root-9c"), []byte("state-root-9c"),
+	}
+	res, err := adaptiveba.AgreeStrong(adaptiveba.Options{N: 5, Faults: 1}, inputs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("decision=%s\n", res.Decision)
+	// Output:
+	// decision=state-root-9c
+}

@@ -1,0 +1,3 @@
+module adaptiveba
+
+go 1.22

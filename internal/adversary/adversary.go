@@ -1,0 +1,255 @@
+// Package adversary is a library of Byzantine behaviours for the
+// simulator. The paper's adversary is adaptive, rushing, and fully
+// malicious; the behaviours here cover the spectrum the experiments and
+// tests need:
+//
+//   - Crash / CrashAt: processes fail by stopping (the "common case" the
+//     adaptive complexity is optimized for).
+//   - Mimic: corrupted processes run attacker-chosen machines — e.g. the
+//     honest protocol with a conflicting input, or a modified protocol.
+//   - Replay: records honest traffic and re-sends stale payloads from
+//     corrupted identities to random targets at random later ticks; a
+//     generic freshness attack that certificates and phase tags must
+//     withstand.
+//   - Compose: runs several behaviours side by side.
+//
+// Protocol-aware attacks (phase spam, split votes, selective finalize,
+// help spam, late certificate release, flood chains) live in the attacks
+// subpackage, which may import the protocol packages.
+package adversary
+
+import (
+	"math/rand"
+
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+// Core provides the boilerplate of a sim.Adversary: a corruption schedule
+// and access to the environment. Behaviours embed it by pointer.
+type Core struct {
+	Env      sim.Env
+	Schedule []sim.Corruption
+}
+
+// Init implements sim.Adversary.
+func (c *Core) Init(env sim.Env) { c.Env = env }
+
+// Corruptions implements sim.Adversary.
+func (c *Core) Corruptions() []sim.Corruption { return c.Schedule }
+
+// Observe implements sim.Adversary (default: ignore inboxes).
+func (c *Core) Observe(types.Tick, types.ProcessID, []proto.Incoming) {}
+
+// Act implements sim.Adversary (default: stay silent).
+func (c *Core) Act(types.Tick, []sim.Message) []sim.Message { return nil }
+
+// Quiescent implements sim.Adversary (default: no pending actions).
+func (c *Core) Quiescent(types.Tick) bool { return true }
+
+// Corrupted reports whether id is in the schedule.
+func (c *Core) Corrupted(id types.ProcessID) bool {
+	for _, cor := range c.Schedule {
+		if cor.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// schedule builds an immediate corruption schedule.
+func schedule(ids []types.ProcessID) []sim.Corruption {
+	cs := make([]sim.Corruption, len(ids))
+	for i, id := range ids {
+		cs[i] = sim.Corruption{ID: id}
+	}
+	return cs
+}
+
+// Crash fails the given processes by stopping them before the run starts.
+type Crash struct {
+	Core
+}
+
+var _ sim.Adversary = (*Crash)(nil)
+
+// NewCrash crashes ids at tick 0.
+func NewCrash(ids ...types.ProcessID) *Crash {
+	return &Crash{Core: Core{Schedule: schedule(ids)}}
+}
+
+// NewCrashAt crashes processes per the given tick schedule.
+func NewCrashAt(at map[types.ProcessID]types.Tick) *Crash {
+	cs := make([]sim.Corruption, 0, len(at))
+	for id, tick := range at {
+		cs = append(cs, sim.Corruption{ID: id, At: tick})
+	}
+	return &Crash{Core: Core{Schedule: cs}}
+}
+
+// FirstProcesses returns the ids 0..f-1, a convenient crash set that takes
+// out the first f rotating leaders.
+func FirstProcesses(f int) []types.ProcessID {
+	ids := make([]types.ProcessID, f)
+	for i := range ids {
+		ids[i] = types.ProcessID(i)
+	}
+	return ids
+}
+
+// Mimic runs attacker-chosen machines for the corrupted processes. The
+// machines see exactly the messages addressed to their identity and their
+// sends are emitted from it — i.e. the corrupted processes follow the
+// attacker's protocol instead of the honest one.
+type Mimic struct {
+	Core
+	// Factory builds the machine for each corrupted id.
+	Factory func(id types.ProcessID) proto.Machine
+
+	machines map[types.ProcessID]proto.Machine
+	inboxes  map[types.ProcessID][]proto.Incoming
+	order    []types.ProcessID
+}
+
+var _ sim.Adversary = (*Mimic)(nil)
+
+// NewMimic corrupts ids and drives them with factory's machines.
+func NewMimic(factory func(id types.ProcessID) proto.Machine, ids ...types.ProcessID) *Mimic {
+	return &Mimic{
+		Core:     Core{Schedule: schedule(ids)},
+		Factory:  factory,
+		machines: make(map[types.ProcessID]proto.Machine),
+		inboxes:  make(map[types.ProcessID][]proto.Incoming),
+		order:    append([]types.ProcessID(nil), ids...),
+	}
+}
+
+// Observe implements sim.Adversary.
+func (m *Mimic) Observe(_ types.Tick, to types.ProcessID, inbox []proto.Incoming) {
+	m.inboxes[to] = append(m.inboxes[to], inbox...)
+}
+
+// Act implements sim.Adversary.
+func (m *Mimic) Act(now types.Tick, _ []sim.Message) []sim.Message {
+	var msgs []sim.Message
+	for _, id := range m.order {
+		mach, ok := m.machines[id]
+		var outs []proto.Outgoing
+		if !ok {
+			mach = m.Factory(id)
+			m.machines[id] = mach
+			outs = mach.Begin(now)
+		} else {
+			outs = mach.Tick(now, m.inboxes[id])
+		}
+		m.inboxes[id] = nil
+		for _, o := range outs {
+			msgs = append(msgs, sim.Message{From: id, To: o.To, Session: o.Session, Payload: o.Payload})
+		}
+	}
+	return msgs
+}
+
+// Replay records honest traffic and re-sends stale payloads from corrupted
+// identities to random recipients at random later ticks. Deterministic
+// given the seed.
+type Replay struct {
+	Core
+	rng      *rand.Rand
+	recorded []sim.Message
+	// Rate is the number of replayed messages per tick (default 2).
+	Rate int
+	// Horizon is the last tick at which the replayer acts; after it the
+	// adversary reports quiescent. Required so runs terminate.
+	Horizon types.Tick
+}
+
+var _ sim.Adversary = (*Replay)(nil)
+
+// NewReplay corrupts ids and replays traffic until horizon.
+func NewReplay(seed int64, horizon types.Tick, ids ...types.ProcessID) *Replay {
+	return &Replay{
+		Core:    Core{Schedule: schedule(ids)},
+		rng:     rand.New(rand.NewSource(seed)),
+		Rate:    2,
+		Horizon: horizon,
+	}
+}
+
+// Act implements sim.Adversary.
+func (r *Replay) Act(now types.Tick, honest []sim.Message) []sim.Message {
+	r.recorded = append(r.recorded, honest...)
+	if now > r.Horizon || len(r.recorded) == 0 || len(r.Schedule) == 0 {
+		return nil
+	}
+	var msgs []sim.Message
+	for i := 0; i < r.Rate; i++ {
+		src := r.recorded[r.rng.Intn(len(r.recorded))]
+		from := r.Schedule[r.rng.Intn(len(r.Schedule))].ID
+		to := types.ProcessID(r.rng.Intn(r.Env.Params.N))
+		msgs = append(msgs, sim.Message{From: from, To: to, Session: src.Session, Payload: src.Payload})
+	}
+	return msgs
+}
+
+// Quiescent implements sim.Adversary.
+func (r *Replay) Quiescent(now types.Tick) bool { return now > r.Horizon }
+
+// Compose runs several behaviours as one adversary; their corruption
+// schedules must be disjoint.
+type Compose struct {
+	parts []sim.Adversary
+}
+
+var _ sim.Adversary = (*Compose)(nil)
+
+// NewCompose combines behaviours.
+func NewCompose(parts ...sim.Adversary) *Compose { return &Compose{parts: parts} }
+
+// Init implements sim.Adversary.
+func (c *Compose) Init(env sim.Env) {
+	for _, p := range c.parts {
+		p.Init(env)
+	}
+}
+
+// Corruptions implements sim.Adversary.
+func (c *Compose) Corruptions() []sim.Corruption {
+	var out []sim.Corruption
+	for _, p := range c.parts {
+		out = append(out, p.Corruptions()...)
+	}
+	return out
+}
+
+// Observe implements sim.Adversary: routed to the part that owns the id.
+func (c *Compose) Observe(now types.Tick, to types.ProcessID, inbox []proto.Incoming) {
+	for _, p := range c.parts {
+		for _, cor := range p.Corruptions() {
+			if cor.ID == to {
+				p.Observe(now, to, inbox)
+				return
+			}
+		}
+	}
+}
+
+// Act implements sim.Adversary.
+func (c *Compose) Act(now types.Tick, honest []sim.Message) []sim.Message {
+	var out []sim.Message
+	for _, p := range c.parts {
+		out = append(out, p.Act(now, honest)...)
+	}
+	return out
+}
+
+// Quiescent implements sim.Adversary.
+func (c *Compose) Quiescent(now types.Tick) bool {
+	for _, p := range c.parts {
+		if !p.Quiescent(now) {
+			return false
+		}
+	}
+	return true
+}

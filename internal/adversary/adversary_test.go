@@ -1,0 +1,158 @@
+package adversary
+
+import (
+	"testing"
+
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+// notePayload is a trivial one-word payload.
+type notePayload struct{ n byte }
+
+func (notePayload) Type() string { return "test/note" }
+func (notePayload) Words() int   { return 1 }
+
+// countMachine broadcasts once and counts everything it receives.
+type countMachine struct {
+	params   types.Params
+	received int
+	decided  bool
+	began    types.Tick
+}
+
+func (m *countMachine) Begin(now types.Tick) []proto.Outgoing {
+	m.began = now
+	return proto.Broadcast(m.params, "", notePayload{n: 1})
+}
+
+func (m *countMachine) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing {
+	m.received += len(inbox)
+	if now >= m.began+3 {
+		m.decided = true
+	}
+	return nil
+}
+
+func (m *countMachine) Output() (types.Value, bool) { return types.Value{1}, m.decided }
+func (m *countMachine) Done() bool                  { return m.decided }
+
+func env(t *testing.T, n int) (*proto.Crypto, types.Params) {
+	t.Helper()
+	params, err := types.NewParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := sig.NewHMACRing(n, []byte("adv-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("d")), params
+}
+
+func TestCrashSchedules(t *testing.T) {
+	a := NewCrash(1, 3)
+	if len(a.Corruptions()) != 2 {
+		t.Fatalf("corruptions: %v", a.Corruptions())
+	}
+	if !a.Corrupted(1) || !a.Corrupted(3) || a.Corrupted(0) {
+		t.Error("Corrupted misreports")
+	}
+	b := NewCrashAt(map[types.ProcessID]types.Tick{2: 5})
+	cs := b.Corruptions()
+	if len(cs) != 1 || cs[0].ID != 2 || cs[0].At != 5 {
+		t.Errorf("CrashAt schedule: %v", cs)
+	}
+}
+
+func TestFirstProcesses(t *testing.T) {
+	ids := FirstProcesses(3)
+	if len(ids) != 3 || ids[0] != 0 || ids[2] != 2 {
+		t.Errorf("FirstProcesses(3) = %v", ids)
+	}
+	if len(FirstProcesses(0)) != 0 {
+		t.Error("FirstProcesses(0) not empty")
+	}
+}
+
+func TestMimicRunsMachinesFromCorruptIdentities(t *testing.T) {
+	crypto, params := env(t, 5)
+	mimic := NewMimic(func(id types.ProcessID) proto.Machine {
+		return &countMachine{params: params}
+	}, 2)
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			return &countMachine{params: params}
+		},
+		Adversary: mimic,
+		MaxTicks:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mimicked p2 broadcast like everyone else: honest processes got
+	// messages from all 5 identities.
+	if res.Report.Byzantine.Messages != 4 {
+		t.Errorf("mimic sent %d messages, want 4", res.Report.Byzantine.Messages)
+	}
+}
+
+func TestReplayDeterministicAndBounded(t *testing.T) {
+	crypto, params := env(t, 5)
+	run := func() *sim.Result {
+		res, err := sim.Run(sim.Config{
+			Params: params,
+			Crypto: crypto,
+			Factory: func(id types.ProcessID) proto.Machine {
+				return &countMachine{params: params}
+			},
+			Adversary: NewReplay(7, 20, 0),
+			MaxTicks:  200,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Report.Byzantine.Messages != b.Report.Byzantine.Messages {
+		t.Error("replay not deterministic across runs")
+	}
+	if a.Report.Byzantine.Messages == 0 {
+		t.Error("replay sent nothing")
+	}
+	if a.TimedOut {
+		t.Error("replay kept the run alive past its horizon")
+	}
+}
+
+func TestComposeRoutesAndMerges(t *testing.T) {
+	crypto, params := env(t, 7)
+	comp := NewCompose(NewCrash(1), NewReplay(3, 20, 4))
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			return &countMachine{params: params}
+		},
+		Adversary: comp,
+		MaxTicks:  200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F() != 2 {
+		t.Fatalf("F = %d", res.F())
+	}
+	if res.Report.Byzantine.Messages == 0 {
+		t.Error("composed replay silent")
+	}
+	if !res.AllDecided() {
+		t.Error("honest machines blocked")
+	}
+}

@@ -1,0 +1,444 @@
+package attacks
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptiveba/internal/adversary"
+	"adaptiveba/internal/baseline/floodset"
+	"adaptiveba/internal/core/bb"
+	"adaptiveba/internal/core/valid"
+	"adaptiveba/internal/core/wba"
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+func setup(t *testing.T, n int) (*proto.Crypto, types.Params) {
+	t.Helper()
+	params, err := types.NewParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := sig.NewHMACRing(n, []byte("attacks-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("d")), params
+}
+
+// corruptSet returns {1} ∪ {n-1, n-2, ...} of size t: the phase-1 leader
+// plus fillers.
+func corruptSet(params types.Params) []types.ProcessID {
+	ids := []types.ProcessID{1}
+	for i := params.N - 1; len(ids) < params.T; i-- {
+		ids = append(ids, types.ProcessID(i))
+	}
+	return ids
+}
+
+func runSplitVote(t *testing.T, quorumOverride int) *sim.Result {
+	t.Helper()
+	crypto, params := setup(t, 9)
+	quorum := params.Quorum()
+	if quorumOverride > 0 {
+		quorum = quorumOverride
+	}
+	adv := NewWBASplitVote("q", quorum, types.Value("v1"), types.Value("v2"), corruptSet(params)...)
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			return wba.NewMachine(wba.Config{
+				Params: params, Crypto: crypto, ID: id,
+				Input: types.Value("honest"), Predicate: valid.NonBottom(),
+				Tag: "q", QuorumOverride: quorumOverride,
+			})
+		},
+		Adversary: adv,
+		MaxTicks:  2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSplitVoteBreaksNaiveQuorum demonstrates the paper's motivation for
+// ⌈(n+t+1)/2⌉: with the naive t+1 quorum the double-commit attack splits
+// the correct processes into two decisions.
+func TestSplitVoteBreaksNaiveQuorum(t *testing.T) {
+	params, _ := types.NewParams(9)
+	res := runSplitVote(t, params.SmallQuorum()) // t+1 = 5
+	if _, ok := res.Agreement(); ok {
+		t.Fatal("expected a safety violation under the t+1 quorum; agreement held")
+	}
+}
+
+// TestSplitVoteFailsAgainstPaperQuorum verifies the same adversary is
+// powerless against the paper's quorum.
+func TestSplitVoteFailsAgainstPaperQuorum(t *testing.T) {
+	res := runSplitVote(t, 0)
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	v, ok := res.Agreement()
+	if !ok {
+		t.Fatal("agreement violated under the paper's quorum")
+	}
+	if v.IsBottom() {
+		t.Errorf("decided ⊥; expected a real value from a later honest phase")
+	}
+}
+
+func TestWBAPhaseSpamCostsLinearPerFailure(t *testing.T) {
+	crypto, params := setup(t, 21)
+	words := make(map[int]int64)
+	for _, f := range []int{0, 2, 4} {
+		var adv sim.Adversary
+		if f > 0 {
+			ids := make([]types.ProcessID, f)
+			for i := range ids {
+				ids[i] = types.ProcessID(i + 1)
+			}
+			adv = NewWBAPhaseSpam(types.Value("v"), ids...)
+		}
+		res, err := sim.Run(sim.Config{
+			Params: params,
+			Crypto: crypto,
+			Factory: func(id types.ProcessID) proto.Machine {
+				return wba.NewMachine(wba.Config{
+					Params: params, Crypto: crypto, ID: id,
+					Input: types.Value("v"), Predicate: valid.NonBottom(), Tag: "h/wba",
+				})
+			},
+			Adversary: adv,
+			MaxTicks:  2000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllDecided() {
+			t.Fatalf("f=%d: not all decided", f)
+		}
+		if v, ok := res.Agreement(); !ok || !v.Equal(types.Value("v")) {
+			t.Fatalf("f=%d: agreement %v %v", f, v, ok)
+		}
+		words[f] = res.Report.Honest.Words
+	}
+	// Each spammed phase should add roughly n-f honest votes.
+	if words[2] <= words[0] || words[4] <= words[2] {
+		t.Errorf("spam cost not increasing: %v", words)
+	}
+	if growth := words[4] - words[0]; growth < int64(2*(params.N-8)) || growth > int64(8*params.N) {
+		t.Errorf("4 spam phases grew words by %d, want ~Θ(n) per phase", growth)
+	}
+}
+
+func TestHelpSpamCostsLinearAndNoFallback(t *testing.T) {
+	// n=21, t=10: f=3 Byzantine help-requesters force the decided correct
+	// processes to answer (O(nf) helps) but cannot reach the t+1
+	// certificate threshold alone — the fallback must stay off.
+	crypto, params := setup(t, 21)
+	helpRound := types.Tick((params.T + 1) * 5) // round A of the default t+1 phases
+	machines := make(map[types.ProcessID]*wba.Machine)
+	adv := NewWBAHelpSpam("h", helpRound, 18, 19, 20)
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			m := wba.NewMachine(wba.Config{
+				Params: params, Crypto: crypto, ID: id,
+				Input: types.Value("v"), Predicate: valid.NonBottom(), Tag: "h",
+			})
+			machines[id] = m
+			return m
+		},
+		Adversary: adv,
+		MaxTicks:  2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	v, ok := res.Agreement()
+	if !ok || !v.Equal(types.Value("v")) {
+		t.Fatalf("agreement %v %v", v, ok)
+	}
+	for id, m := range machines {
+		if m.RanFallback() {
+			t.Errorf("%v ran fallback although only f=3 < t+1 help requests existed", id)
+		}
+	}
+	// Every decided correct process answers each of the 3 requesters:
+	// roughly 3*(n-3) help messages on top of the base run.
+	helps := res.Report.ByLayer["(root)"].Messages
+	if helps < int64(3*(params.N-3)) {
+		t.Errorf("help answers missing: %d root messages", helps)
+	}
+}
+
+func TestLateCertReleaseReactivatesSafely(t *testing.T) {
+	// n=9, t=4: every correct process decides in phase 1, so no correct
+	// help request ever exists and the adversary's own t shares cannot
+	// reach the t+1 certificate threshold — the late release must fizzle
+	// and the decision must stand.
+	crypto, params := setup(t, 9)
+	adv := NewLateCertRelease("h", 200, 5, 6, 7, 8)
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			return wba.NewMachine(wba.Config{
+				Params: params, Crypto: crypto, ID: id,
+				Input: types.Value("v"), Predicate: valid.NonBottom(), Tag: "h",
+			})
+		},
+		Adversary: adv,
+		MaxTicks:  1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	v, ok := res.Agreement()
+	if !ok || !v.Equal(types.Value("v")) {
+		t.Fatalf("late cert release broke safety: %v %v", v, ok)
+	}
+}
+
+func TestSelectiveFinalizeVictimHealedByHelpRound(t *testing.T) {
+	// A Byzantine phase-1 leader finalizes everyone except p3. The victim
+	// is the only undecided correct process after the phases: it asks for
+	// help, the decided processes answer with the finalize certificate,
+	// and it adopts the same decision — no fallback.
+	crypto, params := setup(t, 9)
+	machines := make(map[types.ProcessID]*wba.Machine)
+	adv := NewSelectivePhaseLeader("s", 3, types.Value("v"), corruptSet(params)...)
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			m := wba.NewMachine(wba.Config{
+				Params: params, Crypto: crypto, ID: id,
+				Input: types.Value("v"), Predicate: valid.NonBottom(), Tag: "s",
+			})
+			machines[id] = m
+			return m
+		},
+		Adversary: adv,
+		MaxTicks:  2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided() {
+		t.Fatal("not all decided — the help round failed the victim")
+	}
+	v, ok := res.Agreement()
+	if !ok || !v.Equal(types.Value("v")) {
+		t.Fatalf("agreement %v %v", v, ok)
+	}
+	// The victim decided later than everyone else, via help.
+	if machines[3].DecidedAtTick() <= machines[0].DecidedAtTick() {
+		t.Errorf("victim decided at %d, others at %d — expected a delay",
+			machines[3].DecidedAtTick(), machines[0].DecidedAtTick())
+	}
+	for id, m := range machines {
+		if m.RanFallback() {
+			t.Errorf("%v ran fallback; the help round should have sufficed", id)
+		}
+	}
+}
+
+func TestSelectiveFinalizePlusLateCertForcesFallback(t *testing.T) {
+	// Same leader attack, extended with a late certificate release: the
+	// victim's help-request share plus the t corrupted shares form a
+	// valid fallback certificate that the adversary withholds and
+	// releases after everything went quiet. All correct processes must
+	// re-activate, echo the certificate, run A_fallback — and re-confirm
+	// the SAME decision (Lemma 19).
+	crypto, params := setup(t, 9)
+	adv := NewSelectivePhaseLeader("s", 3, types.Value("v"), corruptSet(params)...)
+	adv.LateRelease = 150
+	machines := make(map[types.ProcessID]*wba.Machine)
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			m := wba.NewMachine(wba.Config{
+				Params: params, Crypto: crypto, ID: id,
+				Input: types.Value("v"), Predicate: valid.NonBottom(), Tag: "s",
+			})
+			machines[id] = m
+			return m
+		},
+		Adversary: adv,
+		MaxTicks:  2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	v, ok := res.Agreement()
+	if !ok || !v.Equal(types.Value("v")) {
+		t.Fatalf("late fallback changed the decision: %v %v", v, ok)
+	}
+	// The certificate really was released and the fallback really ran.
+	ran := 0
+	for _, m := range machines {
+		if m.RanFallback() {
+			ran++
+		}
+	}
+	if ran != len(res.Honest) {
+		t.Errorf("%d/%d honest processes ran the late fallback", ran, len(res.Honest))
+	}
+}
+
+// TestAdaptiveMidPhaseCorruption exercises the model's ADAPTIVE adversary:
+// the phase-1 leader is corrupted in the middle of its own phase (after
+// collecting votes, before finalizing) and goes silent. No certificate
+// completes in phase 1; phase 2's correct leader heals the run.
+func TestAdaptiveMidPhaseCorruption(t *testing.T) {
+	crypto, params := setup(t, 9)
+	machines := make(map[types.ProcessID]*wba.Machine)
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			m := wba.NewMachine(wba.Config{
+				Params: params, Crypto: crypto, ID: id,
+				Input: types.Value("v"), Predicate: valid.NonBottom(), Tag: "mid",
+			})
+			machines[id] = m
+			return m
+		},
+		// p1 proposes at tick 0, receives votes at tick 2, would commit at
+		// tick 2 and finalize at tick 4 — corrupting at tick 3 kills the
+		// phase after the commit broadcast but before the finalize.
+		Adversary: adversaryWithLateCorruption(3),
+		MaxTicks:  2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided() {
+		t.Fatal("not all decided after mid-phase corruption")
+	}
+	v, ok := res.Agreement()
+	if !ok || !v.Equal(types.Value("v")) {
+		t.Fatalf("agreement %v %v", v, ok)
+	}
+	// Everyone committed in phase 1 (the commit broadcast went out) but
+	// decided in phase 2 — the commit-carryover path (Alg. 4 line 36).
+	for _, id := range res.Honest {
+		if got := machines[id].DecidedAtPhase(); got != 2 {
+			t.Errorf("%v decided at phase %d, want 2", id, got)
+		}
+	}
+}
+
+func adversaryWithLateCorruption(at types.Tick) sim.Adversary {
+	a := &adversary.Crash{}
+	a.Schedule = []sim.Corruption{{ID: 1, At: at}}
+	return a
+}
+
+// TestBBVettingEquivocation: a Byzantine sender + Byzantine vetting leader
+// seed the correct processes with two different sender-signed values. Both
+// are BB_valid, so unique validity permits deciding either (or ⊥) — but
+// never disagreement.
+func TestBBVettingEquivocation(t *testing.T) {
+	crypto, params := setup(t, 9)
+	adv := NewBBVettingEquivocator("vt", types.Value("v1"), types.Value("v2"))
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			return bb.NewMachine(bb.Config{
+				Params: params, Crypto: crypto, ID: id,
+				Sender: 0, Tag: "vt",
+			})
+		},
+		Adversary: adv,
+		MaxTicks:  4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	v, ok := res.Agreement()
+	if !ok {
+		t.Fatal("vetting equivocation broke agreement")
+	}
+	if !v.IsBottom() && !v.Equal(types.Value("v1")) && !v.Equal(types.Value("v2")) {
+		t.Errorf("decided out-of-run value %v", v)
+	}
+}
+
+// TestFloodChainForcesLinearRounds: the whisper chain delays FloodSet's
+// early stopping by ~one round per crash — the round-complexity worst
+// case the paper's Section 4 contrasts with its own word adaptivity.
+func TestFloodChainForcesLinearRounds(t *testing.T) {
+	crypto, params := setup(t, 13) // t=6
+	rounds := make(map[int]types.Round)
+	for _, f := range []int{0, 3, 6} {
+		machines := make(map[types.ProcessID]*floodset.Machine)
+		var adv sim.Adversary
+		if f > 0 {
+			ids := make([]types.ProcessID, f)
+			for i := range ids {
+				ids[i] = types.ProcessID(i + 1)
+			}
+			adv = NewFloodChain(types.Value("0-hidden-min"), ids...)
+		}
+		res, err := sim.Run(sim.Config{
+			Params: params,
+			Crypto: crypto,
+			Factory: func(id types.ProcessID) proto.Machine {
+				m := floodset.NewMachine(floodset.Config{
+					Params: params, ID: id,
+					Input: types.Value(fmt.Sprintf("5-v%02d", id)),
+				})
+				machines[id] = m
+				return m
+			},
+			Adversary: adv,
+			MaxTicks:  200,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllDecided() {
+			t.Fatalf("f=%d: not all decided", f)
+		}
+		v, ok := res.Agreement()
+		if !ok {
+			t.Fatalf("f=%d: disagreement", f)
+		}
+		if f > 0 && !v.Equal(types.Value("0-hidden-min")) {
+			t.Fatalf("f=%d: hidden minimum lost, decided %v", f, v)
+		}
+		var max types.Round
+		for _, id := range res.Honest {
+			if r := machines[id].Rounds(); r > max {
+				max = r
+			}
+		}
+		rounds[f] = max
+	}
+	if rounds[3] <= rounds[0] || rounds[6] <= rounds[3] {
+		t.Errorf("rounds did not grow with the chain: %v", rounds)
+	}
+}

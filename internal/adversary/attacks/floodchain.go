@@ -1,0 +1,79 @@
+package attacks
+
+import (
+	"fmt"
+
+	"adaptiveba/internal/adversary"
+	"adaptiveba/internal/baseline/floodset"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+// FloodChain is the classic Θ(f)-round lower-bound construction for
+// early-stopping crash consensus: link k of the chain behaves correctly
+// until round k, then crashes mid-broadcast, having delivered its flood
+// (carrying the chain's hidden minimum value) to exactly the next link.
+// Every round exposes one fresh failure, so the clean-round rule cannot
+// fire before round f+1 — and only then does the minimum, handed to a
+// correct process by the final link, surface and spread.
+type FloodChain struct {
+	adversary.Core
+	// Min is the hidden minimum (must sort below every honest input for
+	// the effect to be visible in the decision).
+	Min types.Value
+}
+
+var _ sim.Adversary = (*FloodChain)(nil)
+
+// NewFloodChain corrupts ids (the chain, in order).
+func NewFloodChain(min types.Value, ids ...types.ProcessID) *FloodChain {
+	a := &FloodChain{Min: min}
+	for _, id := range ids {
+		a.Schedule = append(a.Schedule, sim.Corruption{ID: id})
+	}
+	return a
+}
+
+// Act implements sim.Adversary. A message sent at tick T belongs to round
+// T+1. Link ℓ (1-based): rounds < ℓ behave correctly (full heartbeat
+// floods with a chaff value in round 1); round ℓ crashes mid-broadcast,
+// reaching only the next link (or, for the last link, correct p0) with
+// the minimum; afterwards silence.
+func (a *FloodChain) Act(now types.Tick, _ []sim.Message) []sim.Message {
+	r := int(now) + 1
+	var msgs []sim.Message
+	for k, c := range a.Schedule {
+		link := k + 1
+		switch {
+		case r < link:
+			// Alive and correct-looking: full broadcast.
+			var vals []types.Value
+			if r == 1 {
+				vals = []types.Value{types.Value(fmt.Sprintf("9-chaff-%d", link))}
+			}
+			for i := 0; i < a.Env.Params.N; i++ {
+				msgs = append(msgs, sim.Message{
+					From: c.ID, To: types.ProcessID(i),
+					Payload: floodset.Flood{Values: vals},
+				})
+			}
+		case r == link:
+			// Mid-broadcast crash: the round's flood (with the minimum)
+			// reaches exactly one recipient.
+			to := types.ProcessID(0)
+			if k+1 < len(a.Schedule) {
+				to = a.Schedule[k+1].ID
+			}
+			msgs = append(msgs, sim.Message{
+				From: c.ID, To: to,
+				Payload: floodset.Flood{Values: []types.Value{a.Min}},
+			})
+		}
+	}
+	return msgs
+}
+
+// Quiescent implements sim.Adversary.
+func (a *FloodChain) Quiescent(now types.Tick) bool {
+	return int(now) > len(a.Schedule)+1
+}

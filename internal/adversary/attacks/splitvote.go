@@ -1,0 +1,169 @@
+package attacks
+
+import (
+	"adaptiveba/internal/adversary"
+	"adaptiveba/internal/core/wba"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+// WBASplitVote is the double-commit attack on weak BA that the paper's
+// ⌈(n+t+1)/2⌉ quorum exists to prevent (Section 6, "our first key
+// observation"). The adversary corrupts t processes including the phase-1
+// leader and plays the leader two-faced:
+//
+//	r1: propose v1 to one half of the correct processes, v2 to the other
+//	r3: combine each half's votes with the t corrupted signatures into
+//	    two conflicting commit certificates
+//	r5: likewise build two conflicting finalize certificates
+//
+// With quorum t+1 each certificate needs only ONE correct vote, both
+// certificates form, and correct processes decide differently — a safety
+// violation. With the paper's quorum the two vote sets would have to
+// overlap in a correct process, so at most one certificate can form and
+// the attack dies at r3. The ablate-quorum experiment runs both.
+type WBASplitVote struct {
+	adversary.Core
+	// Tag must match the weak BA instance's tag.
+	Tag string
+	// Quorum is the certificate threshold the honest processes use (the
+	// override under test, or the paper's value).
+	Quorum int
+	// V1, V2 are the two conflicting (predicate-valid) proposals.
+	V1, V2 types.Value
+
+	leader types.ProcessID
+	votes  map[string][]threshold.Share
+	decs   map[string][]threshold.Share
+}
+
+var _ sim.Adversary = (*WBASplitVote)(nil)
+
+// NewWBASplitVote corrupts ids (which must include p1, the phase-1
+// leader, and should have size t for maximal strength).
+func NewWBASplitVote(tag string, quorum int, v1, v2 types.Value, ids ...types.ProcessID) *WBASplitVote {
+	a := &WBASplitVote{
+		Tag:    tag,
+		Quorum: quorum,
+		V1:     v1,
+		V2:     v2,
+		leader: 1,
+		votes:  make(map[string][]threshold.Share),
+		decs:   make(map[string][]threshold.Share),
+	}
+	for _, id := range ids {
+		a.Schedule = append(a.Schedule, sim.Corruption{ID: id})
+	}
+	return a
+}
+
+// groupOf splits the correct processes into two halves by parity of their
+// rank among non-corrupted ids.
+func (a *WBASplitVote) groupOf(id types.ProcessID) int {
+	rank := 0
+	for i := 0; i < int(id); i++ {
+		if !a.Corrupted(types.ProcessID(i)) {
+			rank++
+		}
+	}
+	return rank % 2
+}
+
+// Observe collects votes and decide shares addressed to the corrupted
+// leader.
+func (a *WBASplitVote) Observe(_ types.Tick, to types.ProcessID, inbox []proto.Incoming) {
+	if to != a.leader {
+		return
+	}
+	for _, in := range inbox {
+		switch p := in.Payload.(type) {
+		case wba.Vote:
+			if p.Phase == 1 {
+				a.votes[string(p.V)] = append(a.votes[string(p.V)], threshold.Share{Signer: in.From, Sig: p.Share})
+			}
+		case wba.Decide:
+			if p.Phase == 1 {
+				a.decs[string(p.V)] = append(a.decs[string(p.V)], threshold.Share{Signer: in.From, Sig: p.Share})
+			}
+		}
+	}
+}
+
+// Act implements the attack timeline (phase 1 spans ticks 0..4).
+func (a *WBASplitVote) Act(now types.Tick, _ []sim.Message) []sim.Message {
+	switch now {
+	case 0:
+		return a.splitSend(func(v types.Value) proto.Payload {
+			return wba.Propose{Phase: 1, V: v}
+		})
+	case 2:
+		return a.splitCertSend(a.votes, wba.VoteBase, func(v types.Value, cert *threshold.Cert) proto.Payload {
+			return wba.Commit{Phase: 1, V: v, Cert: cert, Level: 1}
+		})
+	case 4:
+		return a.splitCertSend(a.decs, wba.DecideBase, func(v types.Value, cert *threshold.Cert) proto.Payload {
+			return wba.Finalized{Phase: 1, V: v, Cert: cert}
+		})
+	}
+	return nil
+}
+
+// splitSend sends mk(V1) to group 0 and mk(V2) to group 1.
+func (a *WBASplitVote) splitSend(mk func(types.Value) proto.Payload) []sim.Message {
+	var msgs []sim.Message
+	for i := 0; i < a.Env.Params.N; i++ {
+		id := types.ProcessID(i)
+		if a.Corrupted(id) {
+			continue
+		}
+		v := a.V1
+		if a.groupOf(id) == 1 {
+			v = a.V2
+		}
+		msgs = append(msgs, sim.Message{From: a.leader, To: id, Payload: mk(v)})
+	}
+	return msgs
+}
+
+// splitCertSend combines each value's observed shares with the corrupted
+// processes' own signatures and, if a certificate forms, sends it to that
+// value's group. Under the paper's quorum neither certificate can form.
+func (a *WBASplitVote) splitCertSend(
+	shares map[string][]threshold.Share,
+	base func(string, int, types.Value) []byte,
+	mk func(types.Value, *threshold.Cert) proto.Payload,
+) []sim.Message {
+	scheme := a.Env.Crypto.Threshold(a.Quorum)
+	var msgs []sim.Message
+	for _, v := range []types.Value{a.V1, a.V2} {
+		all := append([]threshold.Share(nil), shares[string(v)]...)
+		for _, c := range a.Schedule {
+			sg, err := a.Env.Crypto.Signer(c.ID).Sign(base(a.Tag, 1, v))
+			if err != nil {
+				continue
+			}
+			all = append(all, threshold.Share{Signer: c.ID, Sig: sg})
+		}
+		cert, err := scheme.Combine(base(a.Tag, 1, v), all)
+		if err != nil {
+			continue // quorum unreachable: the defense worked
+		}
+		payload := mk(v, cert)
+		for i := 0; i < a.Env.Params.N; i++ {
+			id := types.ProcessID(i)
+			if a.Corrupted(id) {
+				continue
+			}
+			want := 0
+			if v.Equal(a.V2) {
+				want = 1
+			}
+			if a.groupOf(id) == want {
+				msgs = append(msgs, sim.Message{From: a.leader, To: id, Payload: payload})
+			}
+		}
+	}
+	return msgs
+}

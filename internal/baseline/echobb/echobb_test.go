@@ -1,0 +1,130 @@
+package echobb
+
+import (
+	"testing"
+
+	"adaptiveba/internal/adversary"
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+func setup(t *testing.T, n int) (*proto.Crypto, types.Params) {
+	t.Helper()
+	params, err := types.NewParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := sig.NewHMACRing(n, []byte("echo-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("d")), params
+}
+
+func factory(crypto *proto.Crypto, params types.Params, sender types.ProcessID, input types.Value) func(types.ProcessID) proto.Machine {
+	return func(id types.ProcessID) proto.Machine {
+		return NewMachine(Config{
+			Params: params, Crypto: crypto, ID: id,
+			Sender: sender, Input: input, Tag: "e",
+		})
+	}
+}
+
+func TestCorrectSender(t *testing.T) {
+	crypto, params := setup(t, 9)
+	res, err := sim.Run(sim.Config{
+		Params:   params,
+		Crypto:   crypto,
+		Factory:  factory(crypto, params, 0, types.Value("v")),
+		MaxTicks: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	v, ok := res.Agreement()
+	if !ok || !v.Equal(types.Value("v")) {
+		t.Errorf("decided %v (%v)", v, ok)
+	}
+}
+
+func TestCrashedSenderBottom(t *testing.T) {
+	crypto, params := setup(t, 9)
+	res, err := sim.Run(sim.Config{
+		Params:    params,
+		Crypto:    crypto,
+		Factory:   factory(crypto, params, 0, types.Value("v")),
+		Adversary: adversary.NewCrash(0),
+		MaxTicks:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := res.Agreement()
+	if !ok || !v.IsBottom() {
+		t.Errorf("decided %v (%v), want ⊥", v, ok)
+	}
+}
+
+func TestValidityUnderFollowerCrashes(t *testing.T) {
+	crypto, params := setup(t, 9) // t=4
+	res, err := sim.Run(sim.Config{
+		Params:    params,
+		Crypto:    crypto,
+		Factory:   factory(crypto, params, 0, types.Value("v")),
+		Adversary: adversary.NewCrash(3, 4, 5, 6),
+		MaxTicks:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := res.Agreement()
+	if !ok || !v.Equal(types.Value("v")) {
+		t.Errorf("decided %v (%v), want v with f=t follower crashes", v, ok)
+	}
+}
+
+func TestQuadraticCostEvenFailureFree(t *testing.T) {
+	// The point of this baseline: words ~ n² regardless of f.
+	for _, n := range []int{11, 21, 41} {
+		crypto, params := setup(t, n)
+		res, err := sim.Run(sim.Config{
+			Params:   params,
+			Crypto:   crypto,
+			Factory:  factory(crypto, params, 0, types.Value("v")),
+			MaxTicks: 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		words := res.Report.Honest.Words
+		if words < int64(n*(n-1)) || words > int64(3*n*n) {
+			t.Errorf("n=%d: words = %d, want ~n²", n, words)
+		}
+	}
+}
+
+func TestNoForgedValueDecidable(t *testing.T) {
+	// A Byzantine non-sender cannot make anyone decide a value the sender
+	// never signed: echoes carry the sender's signature.
+	crypto, params := setup(t, 5)
+	res, err := sim.Run(sim.Config{
+		Params:    params,
+		Crypto:    crypto,
+		Factory:   factory(crypto, params, 0, types.Value("v")),
+		Adversary: adversary.NewReplay(3, 50, 2),
+		MaxTicks:  200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := res.Agreement()
+	if !ok || !v.Equal(types.Value("v")) {
+		t.Errorf("decided %v (%v)", v, ok)
+	}
+}

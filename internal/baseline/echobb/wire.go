@@ -1,0 +1,27 @@
+package echobb
+
+import (
+	"fmt"
+
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/wire"
+)
+
+// RegisterWire registers this package's payload codecs.
+func RegisterWire(reg *wire.Registry) {
+	reg.MustRegister(wire.Codec{
+		Type: Echo{}.Type(),
+		Encode: func(w *wire.Writer, p proto.Payload) error {
+			m, ok := p.(Echo)
+			if !ok {
+				return fmt.Errorf("echobb: unexpected payload %T", p)
+			}
+			w.PutValue(m.V)
+			w.PutSig(m.Sig)
+			return nil
+		},
+		Decode: func(r *wire.Reader) (proto.Payload, error) {
+			return Echo{V: r.Value(), Sig: r.Sig()}, r.Err()
+		},
+	})
+}

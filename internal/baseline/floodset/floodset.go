@@ -1,0 +1,217 @@
+// Package floodset implements the classic early-stopping crash-fault
+// consensus (FloodSet with the clean-round decision rule, in the spirit
+// of Dolev–Reischuk–Strong [10] as discussed in the paper's Section 4):
+// every process floods the values it knows every round, watches which
+// processes are still sending, and decides after the first CLEAN round —
+// a round in which no new failure is observed — at which point the
+// surviving sets have provably converged. With f staggered crashes the
+// first clean round can be delayed to round f+1: decisions take
+// min(f+2, t+2) rounds.
+//
+// It exists as the related-work contrast the paper draws: thirty years of
+// "adaptive" consensus meant adaptive ROUND complexity, while the word
+// complexity stayed Θ(n²) per round. The paper's protocols flip the
+// trade: word complexity O(n(f+1)), round complexity up to t+1 phases.
+//
+// Fault model: CRASH failures only (a faulty process may send to an
+// arbitrary subset of recipients in its final round, then stays silent —
+// the classic mid-broadcast crash). Byzantine behaviour is out of scope
+// for this baseline: equivocation breaks it, and the tests do not pretend
+// otherwise. Deciders announce their decision in one final flood, which
+// undecided processes adopt; under crash faults at most one decision
+// value can circulate (all deciders decide the minimum of the converged
+// set).
+package floodset
+
+import (
+	"sort"
+
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/types"
+)
+
+// Flood is the per-round message: the values its sender learned since its
+// previous flood (usually empty — a heartbeat), plus the sender's
+// decision once it has one.
+type Flood struct {
+	Values   []types.Value
+	Decision types.Value // nil until the sender decided
+}
+
+// Type implements proto.Payload.
+func (Flood) Type() string { return "floodset/flood" }
+
+// Words implements proto.Payload: one word per carried value, at least 1.
+func (f Flood) Words() int {
+	w := len(f.Values)
+	if !f.Decision.IsBottom() {
+		w++
+	}
+	if w == 0 {
+		return 1
+	}
+	return w
+}
+
+// Config parameterizes one process.
+type Config struct {
+	Params types.Params
+	ID     types.ProcessID
+	Input  types.Value
+}
+
+// Machine implements proto.Machine.
+type Machine struct {
+	cfg   Config
+	clock proto.RoundClock
+
+	known map[string]bool
+	fresh []types.Value // learned since the last flood
+
+	// senders[r] is the set of processes whose round-r flood arrived.
+	senders map[types.Round]*types.BitSet
+	adopted types.Value // a decision received from a peer
+
+	decided   bool
+	announced bool
+	decision  types.Value
+	rounds    types.Round // decision round (early-stopping metric)
+}
+
+var _ proto.Machine = (*Machine)(nil)
+
+// NewMachine builds the machine.
+func NewMachine(cfg Config) *Machine {
+	m := &Machine{
+		cfg:     cfg,
+		known:   make(map[string]bool),
+		senders: make(map[types.Round]*types.BitSet),
+	}
+	m.learn(cfg.Input)
+	return m
+}
+
+// Rounds returns the round in which the process decided.
+func (m *Machine) Rounds() types.Round { return m.rounds }
+
+// learn records a value, tracking novelty.
+func (m *Machine) learn(v types.Value) {
+	if v.IsBottom() || m.known[string(v)] {
+		return
+	}
+	m.known[string(v)] = true
+	m.fresh = append(m.fresh, v.Clone())
+}
+
+// Begin implements proto.Machine: round 1 floods the input.
+func (m *Machine) Begin(now types.Tick) []proto.Outgoing {
+	m.clock = proto.NewRoundClock(now, 1)
+	return m.flood(nil)
+}
+
+// flood broadcasts the fresh values (and optionally a decision) and
+// resets the novelty tracker.
+func (m *Machine) flood(decision types.Value) []proto.Outgoing {
+	payload := Flood{Values: m.fresh, Decision: decision}
+	m.fresh = nil
+	return proto.Broadcast(m.cfg.Params, "", payload)
+}
+
+// Tick implements proto.Machine.
+func (m *Machine) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing {
+	r, boundary := m.clock.BoundaryAt(now)
+	for _, in := range inbox {
+		f, ok := in.Payload.(Flood)
+		if !ok {
+			continue
+		}
+		// A flood arriving at the boundary of round r was sent in round
+		// r-1; mid-round arrivals (impossible for honest ticks with
+		// duration-1 rounds) would also belong to the previous round.
+		prev := m.clock.RoundAt(now) - 1
+		if boundary {
+			prev = r - 1
+		}
+		if m.senders[prev] == nil {
+			m.senders[prev] = types.NewBitSet(m.cfg.Params.N)
+		}
+		m.senders[prev].Add(in.From)
+		for _, v := range f.Values {
+			m.learn(v)
+		}
+		if !f.Decision.IsBottom() && m.adopted == nil {
+			m.adopted = f.Decision.Clone()
+		}
+	}
+	if !boundary {
+		return nil
+	}
+	if m.decided {
+		if !m.announced {
+			m.announced = true
+			return m.flood(m.decision)
+		}
+		return nil
+	}
+	// Boundary of round r: round r-1's floods are in.
+	switch {
+	case m.adopted != nil:
+		// A peer decided: its set had converged, adopt its decision.
+		m.decide(r, m.adopted)
+		return m.flood(m.decision)
+	case r >= 3 && m.cleanRound(r-1):
+		m.decide(r, m.minKnown())
+		return m.flood(m.decision)
+	case int(r) > m.cfg.Params.T+2:
+		// Worst-case cap: after t+1 rounds of flooding every value has
+		// propagated regardless of the failure pattern.
+		m.decide(r, m.minKnown())
+		return m.flood(m.decision)
+	default:
+		return m.flood(nil)
+	}
+}
+
+// cleanRound reports whether round r brought no NEW failures: everyone
+// who sent in round r-1 also sent in round r.
+func (m *Machine) cleanRound(r types.Round) bool {
+	prev, cur := m.senders[r-1], m.senders[r]
+	if prev == nil {
+		return false
+	}
+	if cur == nil {
+		return prev.Count() == 0
+	}
+	for _, id := range prev.Members() {
+		if !cur.Has(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// minKnown picks the canonical minimum of the converged set.
+func (m *Machine) minKnown() types.Value {
+	keys := make([]string, 0, len(m.known))
+	for k := range m.known {
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return types.Bottom
+	}
+	sort.Strings(keys)
+	return types.Value(keys[0]).Clone()
+}
+
+// decide records the decision and the round it happened in.
+func (m *Machine) decide(r types.Round, v types.Value) {
+	m.decided = true
+	m.decision = v.Clone()
+	m.rounds = r - 1 // decided on round r-1's evidence
+}
+
+// Output implements proto.Machine.
+func (m *Machine) Output() (types.Value, bool) { return m.decision, m.decided }
+
+// Done implements proto.Machine.
+func (m *Machine) Done() bool { return m.decided && m.announced }

@@ -1,0 +1,134 @@
+package floodset
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptiveba/internal/adversary"
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+func run(t *testing.T, n int, adv sim.Adversary, input func(types.ProcessID) types.Value) (*sim.Result, map[types.ProcessID]*Machine) {
+	t.Helper()
+	params, err := types.NewParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FloodSet is unauthenticated; the crypto suite is only engine plumbing.
+	ring, err := sig.NewHMACRing(n, []byte("fs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crypto := proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("d"))
+	machines := make(map[types.ProcessID]*Machine)
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			m := NewMachine(Config{Params: params, ID: id, Input: input(id)})
+			machines[id] = m
+			return m
+		},
+		Adversary: adv,
+		MaxTicks:  types.Tick(4*n + 40),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, machines
+}
+
+func TestFailureFreeDecidesFast(t *testing.T) {
+	res, machines := run(t, 9, nil, func(id types.ProcessID) types.Value {
+		return types.Value(fmt.Sprintf("v%d", id))
+	})
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	v, ok := res.Agreement()
+	if !ok || !v.Equal(types.Value("v0")) {
+		t.Errorf("decided %v (%v), want min v0", v, ok)
+	}
+	// Early stopping: with f=0 everything converges after 2 rounds, far
+	// below the worst case t+1 = 5.
+	for id, m := range machines {
+		if m.Rounds() > 3 {
+			t.Errorf("%v used %d rounds at f=0", id, m.Rounds())
+		}
+	}
+}
+
+func TestUnanimity(t *testing.T) {
+	res, _ := run(t, 5, nil, func(types.ProcessID) types.Value { return types.Value("same") })
+	v, ok := res.Agreement()
+	if !ok || !v.Equal(types.Value("same")) {
+		t.Errorf("decided %v (%v)", v, ok)
+	}
+}
+
+func TestCrashAtStart(t *testing.T) {
+	res, _ := run(t, 9, adversary.NewCrash(0, 1), func(id types.ProcessID) types.Value {
+		return types.Value(fmt.Sprintf("v%d", id))
+	})
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	v, ok := res.Agreement()
+	if !ok {
+		t.Fatal("disagreement")
+	}
+	// p0 and p1 never sent anything; the minimum among survivors wins.
+	if !v.Equal(types.Value("v2")) {
+		t.Errorf("decided %v, want v2", v)
+	}
+}
+
+func TestStaggeredCrashesDelayDecision(t *testing.T) {
+	// One crash per round (the classic worst case for early stopping):
+	// p0 crashes at tick 1 (after flooding round 1), p1 at tick 2, ...
+	// decisions take ~f extra rounds but stay within t+1.
+	res, machines := run(t, 9, adversary.NewCrashAt(map[types.ProcessID]types.Tick{
+		0: 1, 1: 2, 2: 3,
+	}), func(id types.ProcessID) types.Value {
+		return types.Value(fmt.Sprintf("v%d", id))
+	})
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	if _, ok := res.Agreement(); !ok {
+		t.Fatal("disagreement under staggered crashes")
+	}
+	for _, id := range res.Honest {
+		if r := machines[id].Rounds(); int(r) > 9/2+1 {
+			t.Errorf("%v exceeded the t+1 round bound: %d", id, r)
+		}
+	}
+}
+
+func TestQuadraticWordsRegardlessOfF(t *testing.T) {
+	// The §4 contrast: FloodSet's words are Θ(n²) even failure-free —
+	// round complexity adapts, word complexity does not.
+	for _, n := range []int{11, 21} {
+		res, _ := run(t, n, nil, func(id types.ProcessID) types.Value {
+			return types.Value(fmt.Sprintf("v%02d", id))
+		})
+		words := res.Report.Honest.Words
+		if words < int64(n*(n-1)) {
+			t.Errorf("n=%d: words = %d, expected at least n(n-1)", n, words)
+		}
+	}
+}
+
+func TestFloodWordAccounting(t *testing.T) {
+	if (Flood{}).Words() != 1 {
+		t.Error("empty flood should still cost one word")
+	}
+	f := Flood{Values: []types.Value{types.Value("a"), types.Value("b"), types.Value("c")}}
+	if f.Words() != 3 {
+		t.Errorf("Words = %d", f.Words())
+	}
+}

@@ -1,0 +1,38 @@
+package bb
+
+import (
+	"testing"
+
+	"adaptiveba/internal/types"
+)
+
+// FuzzDecodeValue: BB value envelopes arrive from Byzantine processes, so
+// the decoder must be total — no panics on arbitrary bytes, and anything
+// that decodes must re-encode canonically.
+func FuzzDecodeValue(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{2})
+	f.Add([]byte(EncodeSenderValue(SenderValue{V: types.Value("v"), Sig: []byte("sig")})))
+	f.Add([]byte(EncodeIDKCert(IDKCert{Phase: 3})))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sv, idk, err := DecodeValue(types.Value(data))
+		if err != nil {
+			return
+		}
+		switch {
+		case sv != nil:
+			enc := EncodeSenderValue(*sv)
+			if !enc.Equal(types.Value(data)) {
+				t.Fatalf("sender value does not re-encode canonically")
+			}
+		case idk != nil:
+			enc := EncodeIDKCert(*idk)
+			if !enc.Equal(types.Value(data)) {
+				t.Fatalf("idk cert does not re-encode canonically")
+			}
+		default:
+			t.Fatal("decode returned neither variant nor error")
+		}
+	})
+}

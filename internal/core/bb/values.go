@@ -1,0 +1,167 @@
+package bb
+
+import (
+	"errors"
+	"fmt"
+
+	"adaptiveba/internal/core/valid"
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/types"
+	"adaptiveba/internal/wire"
+)
+
+// The BB protocol agrees (via weak BA) on structured values: either the
+// sender's signed value ⟨v⟩_sender or an idk quorum certificate formed by
+// a vetting phase. Both are serialized into opaque types.Values so the
+// weak BA layer stays value-agnostic, exactly as the reduction in
+// Section 5 requires.
+
+// Value kinds used in the encoding.
+const (
+	kindSenderValue byte = 1
+	kindIDKCert     byte = 2
+)
+
+// ErrBadBBValue reports a value that is not a well-formed BB envelope.
+var ErrBadBBValue = errors.New("bb: malformed value envelope")
+
+// senderBase is the byte string the designated sender signs over its
+// input value.
+func senderBase(tag string, sender types.ProcessID, v types.Value) []byte {
+	w := wire.NewWriter()
+	w.PutString("bb/sender")
+	w.PutString(tag)
+	w.PutProcess(sender)
+	w.PutValue(v)
+	return w.Bytes()
+}
+
+// idkBase is the byte string idk shares sign in phase j (⟨idk, j⟩_p).
+func idkBase(tag string, phase int) []byte {
+	w := wire.NewWriter()
+	w.PutString("bb/idk")
+	w.PutString(tag)
+	w.PutInt(phase)
+	return w.Bytes()
+}
+
+// SenderValue is the decoded form of ⟨v⟩_sender.
+type SenderValue struct {
+	V   types.Value
+	Sig sig.Signature
+}
+
+// IDKCert is the decoded form of QC_idk: t+1 processes declared they did
+// not receive the sender's value in phase Phase.
+type IDKCert struct {
+	Phase int
+	Cert  *threshold.Cert
+}
+
+// EncodeSenderValue serializes ⟨v⟩_sender into an opaque weak-BA value.
+func EncodeSenderValue(sv SenderValue) types.Value {
+	w := wire.NewWriter()
+	w.PutByte(kindSenderValue)
+	w.PutValue(sv.V)
+	w.PutSig(sv.Sig)
+	return types.Value(w.Bytes())
+}
+
+// EncodeIDKCert serializes QC_idk into an opaque weak-BA value.
+func EncodeIDKCert(c IDKCert) types.Value {
+	w := wire.NewWriter()
+	w.PutByte(kindIDKCert)
+	w.PutInt(c.Phase)
+	w.PutCert(c.Cert)
+	return types.Value(w.Bytes())
+}
+
+// DecodeValue parses a BB envelope. Exactly one of the returns is non-nil
+// on success.
+func DecodeValue(v types.Value) (*SenderValue, *IDKCert, error) {
+	if v.IsBottom() {
+		return nil, nil, fmt.Errorf("%w: bottom", ErrBadBBValue)
+	}
+	r := wire.NewReader(v)
+	switch kind := r.Byte(); kind {
+	case kindSenderValue:
+		sv := &SenderValue{V: r.Value(), Sig: r.Sig()}
+		if err := r.Close(); err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrBadBBValue, err)
+		}
+		return sv, nil, nil
+	case kindIDKCert:
+		c := &IDKCert{Phase: r.Int(), Cert: r.Cert()}
+		if err := r.Close(); err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrBadBBValue, err)
+		}
+		return nil, c, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: kind %d", ErrBadBBValue, kind)
+	}
+}
+
+// Validator evaluates BB_valid (Section 5): a value is valid iff it is
+// signed by the designated sender, or carries t+1 unique idk signatures.
+type Validator struct {
+	crypto *proto.Crypto
+	tag    string
+	sender types.ProcessID
+	phases int
+	small  *threshold.Scheme
+}
+
+var _ valid.Predicate = (*Validator)(nil)
+
+// NewValidator builds the BB_valid predicate for one BB instance. phases
+// bounds the acceptable idk-certificate phase numbers.
+func NewValidator(crypto *proto.Crypto, tag string, sender types.ProcessID, phases int) *Validator {
+	return &Validator{
+		crypto: crypto,
+		tag:    tag,
+		sender: sender,
+		phases: phases,
+		small:  crypto.Threshold(crypto.Params.SmallQuorum()),
+	}
+}
+
+// Name implements valid.Predicate.
+func (bv *Validator) Name() string { return "BB_valid" }
+
+// Validate implements valid.Predicate.
+func (bv *Validator) Validate(v types.Value) bool {
+	sv, idk, err := DecodeValue(v)
+	if err != nil {
+		return false
+	}
+	if sv != nil {
+		return bv.crypto.Scheme.Verify(bv.sender, senderBase(bv.tag, bv.sender, sv.V), sv.Sig)
+	}
+	if idk.Phase < 1 || idk.Phase > bv.phases {
+		return false
+	}
+	return bv.small.Verify(idkBase(bv.tag, idk.Phase), idk.Cert)
+}
+
+// SenderBase exposes the sender's sign base so the adversary library can
+// construct protocol-conformant attacks (a Byzantine sender knows what it
+// signs).
+func SenderBase(tag string, sender types.ProcessID, v types.Value) []byte {
+	return senderBase(tag, sender, v)
+}
+
+// envelopeSigCount counts the component signatures inside a BB value
+// envelope, for proto.SigCarrier accounting.
+func envelopeSigCount(v types.Value) int {
+	sv, idk, err := DecodeValue(v)
+	switch {
+	case err != nil:
+		return 0
+	case sv != nil:
+		return 1
+	default:
+		return idk.Cert.Count()
+	}
+}

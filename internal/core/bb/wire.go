@@ -1,0 +1,93 @@
+package bb
+
+import (
+	"fmt"
+
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/wire"
+)
+
+// RegisterWire registers this package's payload codecs. The nested weak
+// BA and fallback codecs are registered by their own packages.
+func RegisterWire(reg *wire.Registry) {
+	reg.MustRegister(
+		wire.Codec{
+			Type: SenderMsg{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(SenderMsg)
+				if !ok {
+					return badType(p)
+				}
+				w.PutValue(m.V)
+				w.PutSig(m.Sig)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return SenderMsg{V: r.Value(), Sig: r.Sig()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: HelpReq{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(HelpReq)
+				if !ok {
+					return badType(p)
+				}
+				w.PutInt(m.Phase)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return HelpReq{Phase: r.Int()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: Reply{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(Reply)
+				if !ok {
+					return badType(p)
+				}
+				w.PutInt(m.Phase)
+				w.PutValue(m.Val)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return Reply{Phase: r.Int(), Val: r.Value()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: IdkShare{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(IdkShare)
+				if !ok {
+					return badType(p)
+				}
+				w.PutInt(m.Phase)
+				w.PutSig(m.Share)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return IdkShare{Phase: r.Int(), Share: r.Sig()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: Vetted{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(Vetted)
+				if !ok {
+					return badType(p)
+				}
+				w.PutInt(m.Phase)
+				w.PutValue(m.Val)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return Vetted{Phase: r.Int(), Val: r.Value()}, r.Err()
+			},
+		},
+	)
+}
+
+func badType(p proto.Payload) error {
+	return fmt.Errorf("bb: unexpected payload %T", p)
+}

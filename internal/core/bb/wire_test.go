@@ -1,0 +1,48 @@
+package bb
+
+import (
+	"bytes"
+	"testing"
+
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/types"
+	"adaptiveba/internal/wire"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	reg := wire.NewRegistry()
+	RegisterWire(reg)
+	ring, err := sig.NewHMACRing(3, []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ring.Sign(0, []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := []proto.Payload{
+		SenderMsg{V: types.Value("v"), Sig: s},
+		HelpReq{Phase: 7},
+		Reply{Phase: 2, Val: types.Value("env")},
+		IdkShare{Phase: 3, Share: s},
+		Vetted{Phase: 4, Val: types.Value("env")},
+	}
+	for _, p := range payloads {
+		b1, err := reg.EncodePayload(p)
+		if err != nil {
+			t.Fatalf("encode %s: %v", p.Type(), err)
+		}
+		got, err := reg.DecodePayload(b1)
+		if err != nil {
+			t.Fatalf("decode %s: %v", p.Type(), err)
+		}
+		b2, err := reg.EncodePayload(got)
+		if err != nil {
+			t.Fatalf("re-encode %s: %v", p.Type(), err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: round trip not byte-identical", p.Type())
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package bbviaba
+
+import (
+	"testing"
+
+	"adaptiveba/internal/adversary"
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+func setup(t *testing.T, n int) (*proto.Crypto, types.Params) {
+	t.Helper()
+	params, err := types.NewParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := sig.NewHMACRing(n, []byte("bbviaba-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("d")), params
+}
+
+func run(t *testing.T, n int, sender types.ProcessID, bit types.Value, adv sim.Adversary) *sim.Result {
+	t.Helper()
+	crypto, params := setup(t, n)
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			m, err := NewMachine(Config{
+				Params: params, Crypto: crypto, ID: id,
+				Sender: sender, Input: bit, Tag: "r",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		},
+		Adversary: adv,
+		MaxTicks:  types.Tick(30*n + 300),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCorrectSenderValidity(t *testing.T) {
+	for _, bit := range []types.Value{types.Zero, types.One} {
+		res := run(t, 9, 2, bit, nil)
+		if !res.AllDecided() {
+			t.Fatal("not all decided")
+		}
+		v, ok := res.Agreement()
+		if !ok || !v.Equal(bit) {
+			t.Errorf("decided %v (%v), want %v", v, ok, bit)
+		}
+	}
+}
+
+func TestCrashedSenderStillAgrees(t *testing.T) {
+	res := run(t, 9, 0, types.One, adversary.NewCrash(0))
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	v, ok := res.Agreement()
+	if !ok {
+		t.Fatal("disagreement")
+	}
+	// Everyone enters the BA with the default 0: strong unanimity → 0.
+	if !v.Equal(types.Zero) {
+		t.Errorf("decided %v, want default 0", v)
+	}
+}
+
+func TestFollowerCrashesKeepValidity(t *testing.T) {
+	res := run(t, 9, 0, types.One, adversary.NewCrash(3, 5, 7))
+	v, ok := res.Agreement()
+	if !ok || !v.Equal(types.One) {
+		t.Errorf("decided %v (%v), want 1", v, ok)
+	}
+}
+
+func TestReductionLinearOnlyAtFZero(t *testing.T) {
+	// The reduction's headline limitation: at f=0 it is O(n), but a
+	// single crash already sends the inner strong BA into its fallback —
+	// unlike the adaptive BB, which stays O(n) up to the threshold.
+	n := 21
+	free := run(t, n, 0, types.One, nil)
+	if w := free.Report.Honest.Words; w > int64(8*n) {
+		t.Errorf("f=0 words = %d, want O(n)", w)
+	}
+	oneCrash := run(t, n, 0, types.One, adversary.NewCrash(5))
+	if oneCrash.Report.Honest.Words < int64(3*n*n) {
+		t.Errorf("f=1 words = %d; expected the quadratic+ regime", oneCrash.Report.Honest.Words)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	crypto, params := setup(t, 5)
+	if _, err := NewMachine(Config{Params: params, Crypto: crypto, ID: 0, Sender: 0, Input: types.Value("x"), Tag: "r"}); err == nil {
+		t.Error("non-binary sender input accepted")
+	}
+	if _, err := NewMachine(Config{Params: params, Crypto: crypto, ID: 0, Sender: 99, Tag: "r"}); err == nil {
+		t.Error("bad sender accepted")
+	}
+	// Non-senders do not need a binary input.
+	if _, err := NewMachine(Config{Params: params, Crypto: crypto, ID: 1, Sender: 0, Tag: "r"}); err != nil {
+		t.Errorf("non-sender rejected: %v", err)
+	}
+}

@@ -1,0 +1,28 @@
+package bbviaba
+
+import (
+	"fmt"
+
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/wire"
+)
+
+// RegisterWire registers this package's payload codec (the nested strong
+// BA registers its own).
+func RegisterWire(reg *wire.Registry) {
+	reg.MustRegister(wire.Codec{
+		Type: SenderBit{}.Type(),
+		Encode: func(w *wire.Writer, p proto.Payload) error {
+			m, ok := p.(SenderBit)
+			if !ok {
+				return fmt.Errorf("bbviaba: unexpected payload %T", p)
+			}
+			w.PutValue(m.V)
+			w.PutSig(m.Sig)
+			return nil
+		},
+		Decode: func(r *wire.Reader) (proto.Payload, error) {
+			return SenderBit{V: r.Value(), Sig: r.Sig()}, r.Err()
+		},
+	})
+}

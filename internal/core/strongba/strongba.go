@@ -1,0 +1,472 @@
+// Package strongba implements the paper's binary strong Byzantine
+// Agreement (Section 7, Algorithm 5): optimal resilience n = 2t+1, O(n)
+// words in the failure-free case and O(n²)+fallback otherwise.
+//
+// Run structure (one round per tick):
+//
+//	r1 input    — everyone sends its signed binary input to the leader
+//	r2 propose  — the leader batches t+1 matching inputs into QC_propose
+//	              (binary domain: with f = 0 some value must have t+1)
+//	r3 decide   — processes answer a valid proposal with decide shares
+//	r4 certify  — the leader batches n decide shares into QC_decide
+//	r5 decide   — holders of QC_decide decide; everyone else broadcasts a
+//	              fallback announcement
+//	fallback    — 2δ after the first announcement, A_fallback runs with
+//	              δ' = 2δ; decisions made before it are preserved through
+//	              the safety window and strong unanimity
+//
+// One pseudocode repair, mirroring Algorithm 3's initialization: line 19
+// (bu_decision ← decision) is applied only when a decision exists;
+// otherwise bu_decision keeps the process's original input. Taking it
+// literally would run the fallback on ⊥ inputs and break strong unanimity
+// (Lemma 28's proof indeed argues with "the original initial values").
+package strongba
+
+import (
+	"fmt"
+
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/fallback"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/types"
+	"adaptiveba/internal/wire"
+)
+
+const fbSession = "fb"
+
+// preRounds is the number of lock-step rounds before the fallback window.
+const preRounds = 5
+
+// inputBase is what input shares sign (round 1).
+func inputBase(tag string, v types.Value) []byte {
+	w := wire.NewWriter()
+	w.PutString("sba/input")
+	w.PutString(tag)
+	w.PutValue(v)
+	return w.Bytes()
+}
+
+// decideBase is what decide shares sign (round 3).
+func decideBase(tag string, v types.Value) []byte {
+	w := wire.NewWriter()
+	w.PutString("sba/decide")
+	w.PutString(tag)
+	w.PutValue(v)
+	return w.Bytes()
+}
+
+// InputShare is the round-1 message ⟨v_i⟩_pi.
+type InputShare struct {
+	V     types.Value
+	Share sig.Signature
+}
+
+// Type implements proto.Payload.
+func (InputShare) Type() string { return "sba/input" }
+
+// Words implements proto.Payload.
+func (InputShare) Words() int { return 1 }
+
+// Propose is the leader's round-2 broadcast ⟨propose, v, QC_propose(v)⟩.
+type Propose struct {
+	V    types.Value
+	Cert *threshold.Cert // (t+1, n) over inputBase
+}
+
+// Type implements proto.Payload.
+func (Propose) Type() string { return "sba/propose" }
+
+// Words implements proto.Payload.
+func (Propose) Words() int { return 1 }
+
+// DecideShare is the round-3 answer ⟨decide, v⟩_pi.
+type DecideShare struct {
+	V     types.Value
+	Share sig.Signature
+}
+
+// Type implements proto.Payload.
+func (DecideShare) Type() string { return "sba/decide_share" }
+
+// Words implements proto.Payload.
+func (DecideShare) Words() int { return 1 }
+
+// DecideMsg is the leader's round-4 broadcast ⟨decide, v, QC_decide(v)⟩.
+type DecideMsg struct {
+	V    types.Value
+	Cert *threshold.Cert // (n, n) over decideBase
+}
+
+// Type implements proto.Payload.
+func (DecideMsg) Type() string { return "sba/decide" }
+
+// Words implements proto.Payload.
+func (DecideMsg) Words() int { return 1 }
+
+// Fallback announces the fallback path ⟨fallback, v, proof⟩; v/proof carry
+// the sender's decision evidence if it has any.
+type Fallback struct {
+	V     types.Value
+	Proof *threshold.Cert
+}
+
+// Type implements proto.Payload.
+func (Fallback) Type() string { return "sba/fallback" }
+
+// Words implements proto.Payload.
+func (Fallback) Words() int { return 1 }
+
+// Config parameterizes strong BA for one process.
+type Config struct {
+	Params types.Params
+	Crypto *proto.Crypto
+	ID     types.ProcessID
+	// Input must be a canonical binary value (types.Zero or types.One).
+	Input types.Value
+	// Leader is the designated leader (the paper fixes "leader ← p1"; the
+	// identity is arbitrary, and the zero value selects p0).
+	Leader types.ProcessID
+	// Tag domain-separates this instance.
+	Tag string
+}
+
+// ErrNotBinary reports a non-binary input.
+var ErrNotBinary = fmt.Errorf("strongba: input must be binary")
+
+// Machine implements proto.Machine for Algorithm 5.
+type Machine struct {
+	cfg    Config
+	leader types.ProcessID
+	signer *sig.Signer
+	clock  proto.RoundClock
+	small  *threshold.Scheme // (t+1, n)
+	full   *threshold.Scheme // (n, n)
+
+	decided  bool
+	decision types.Value
+	proof    *threshold.Cert
+
+	buDecision types.Value
+	buProof    *threshold.Cert
+
+	inputShares  map[string]map[types.ProcessID]sig.Signature
+	decideShares map[string]map[types.ProcessID]sig.Signature
+	proposal     *Propose
+
+	fallbackStart   types.Tick
+	fbSub           *proto.Sub
+	fbBuffer        []proto.Incoming
+	fbAdopted       bool
+	pendingAnnounce *Fallback
+	ranFallback     bool
+	decidedAtTick   types.Tick
+	nowTick         types.Tick
+
+	err error
+}
+
+var _ proto.Machine = (*Machine)(nil)
+
+// NewMachine builds the strong BA machine.
+func NewMachine(cfg Config) (*Machine, error) {
+	if !cfg.Input.IsBinary() {
+		return nil, fmt.Errorf("%w: %v", ErrNotBinary, cfg.Input)
+	}
+	if err := cfg.Params.CheckProcess(cfg.Leader); err != nil {
+		return nil, err
+	}
+	return &Machine{
+		cfg:           cfg,
+		leader:        cfg.Leader,
+		signer:        cfg.Crypto.Signer(cfg.ID),
+		small:         cfg.Crypto.Threshold(cfg.Params.SmallQuorum()),
+		full:          cfg.Crypto.Threshold(cfg.Params.N),
+		buDecision:    cfg.Input.Clone(),
+		inputShares:   make(map[string]map[types.ProcessID]sig.Signature),
+		decideShares:  make(map[string]map[types.ProcessID]sig.Signature),
+		fallbackStart: -1,
+	}, nil
+}
+
+// MaxTicks bounds a full run for simulator budgets.
+func (m *Machine) MaxTicks() types.Tick {
+	return types.Tick(preRounds) + 6 + types.Tick((m.cfg.Params.T+2)*2) + 4
+}
+
+// RanFallback reports whether this process executed A_fallback.
+func (m *Machine) RanFallback() bool { return m.ranFallback }
+
+// DecidedAtTick reports when (in δ ticks) this process decided.
+func (m *Machine) DecidedAtTick() types.Tick { return m.decidedAtTick }
+
+// Failed returns the first internal error (for tests).
+func (m *Machine) Failed() error { return m.err }
+
+// Begin implements proto.Machine: round 1 sends the signed input.
+func (m *Machine) Begin(now types.Tick) []proto.Outgoing {
+	m.nowTick = now
+	m.clock = proto.NewRoundClock(now, 1)
+	share, err := m.signer.Sign(inputBase(m.cfg.Tag, m.cfg.Input))
+	if err != nil {
+		m.fail(err)
+		return nil
+	}
+	return proto.Unicast(m.leader, "", InputShare{V: m.cfg.Input, Share: share})
+}
+
+// Tick implements proto.Machine.
+func (m *Machine) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing {
+	m.nowTick = now
+	var outs []proto.Outgoing
+	var fbIn, mine []proto.Incoming
+	for _, in := range inbox {
+		if head, _ := proto.SplitSession(in.Session); head == fbSession {
+			fbIn = append(fbIn, in)
+		} else {
+			mine = append(mine, in)
+		}
+	}
+	for _, in := range mine {
+		m.ingest(now, in)
+	}
+	if m.pendingAnnounce != nil {
+		outs = append(outs, proto.Broadcast(m.cfg.Params, "", *m.pendingAnnounce)...)
+		m.pendingAnnounce = nil
+	}
+	if r, ok := m.clock.BoundaryAt(now); ok && int(r) >= 2 && int(r) <= preRounds {
+		outs = append(outs, m.boundary(now, int(r))...)
+	}
+	if m.fallbackStart >= 0 && m.fbSub == nil && now >= m.fallbackStart {
+		outs = append(outs, m.startFallback(now)...)
+	}
+	if m.fbSub != nil {
+		if len(m.fbBuffer) > 0 {
+			fbIn = append(m.fbBuffer, fbIn...)
+			m.fbBuffer = nil
+		}
+		routed := make([]proto.Incoming, 0, len(fbIn))
+		for _, in := range fbIn {
+			_, rest := proto.SplitSession(in.Session)
+			in.Session = rest
+			routed = append(routed, in)
+		}
+		outs = append(outs, m.fbSub.Tick(now, routed)...)
+		m.finishFallback()
+	} else {
+		m.fbBuffer = append(m.fbBuffer, fbIn...)
+	}
+	return outs
+}
+
+// Output implements proto.Machine.
+func (m *Machine) Output() (types.Value, bool) { return m.decision, m.decided }
+
+// Done implements proto.Machine.
+func (m *Machine) Done() bool {
+	if !m.decided {
+		return false
+	}
+	if m.fallbackStart >= 0 {
+		return m.fbSub != nil && m.fbSub.Done()
+	}
+	return true
+}
+
+// ingest processes one incoming message.
+func (m *Machine) ingest(now types.Tick, in proto.Incoming) {
+	switch p := in.Payload.(type) {
+	case InputShare:
+		if m.cfg.ID != m.leader || !p.V.IsBinary() {
+			return
+		}
+		if !m.small.VerifyShare(inputBase(m.cfg.Tag, p.V), threshold.Share{Signer: in.From, Sig: p.Share}) {
+			return
+		}
+		key := string(p.V)
+		if m.inputShares[key] == nil {
+			m.inputShares[key] = make(map[types.ProcessID]sig.Signature)
+		}
+		m.inputShares[key][in.From] = p.Share
+	case Propose:
+		if in.From != m.leader || m.proposal != nil {
+			return
+		}
+		if !p.V.IsBinary() || !m.small.Verify(inputBase(m.cfg.Tag, p.V), p.Cert) {
+			return
+		}
+		cp := p
+		m.proposal = &cp
+	case DecideShare:
+		if m.cfg.ID != m.leader || !p.V.IsBinary() {
+			return
+		}
+		if !m.full.VerifyShare(decideBase(m.cfg.Tag, p.V), threshold.Share{Signer: in.From, Sig: p.Share}) {
+			return
+		}
+		key := string(p.V)
+		if m.decideShares[key] == nil {
+			m.decideShares[key] = make(map[types.ProcessID]sig.Signature)
+		}
+		m.decideShares[key][in.From] = p.Share
+	case DecideMsg:
+		// Certificate-backed: accept whenever it arrives.
+		if !p.V.IsBinary() || !m.full.Verify(decideBase(m.cfg.Tag, p.V), p.Cert) {
+			return
+		}
+		m.setDecision(p.V, p.Cert)
+	case Fallback:
+		m.onFallback(now, p)
+	}
+}
+
+// onFallback implements lines 20–27.
+func (m *Machine) onFallback(now types.Tick, p Fallback) {
+	// Adopt decision evidence while undecided.
+	if !m.decided && p.Proof != nil && p.V.IsBinary() &&
+		m.full.Verify(decideBase(m.cfg.Tag, p.V), p.Proof) {
+		m.buDecision = p.V.Clone()
+		m.buProof = p.Proof
+	}
+	if m.fallbackStart < 0 {
+		m.fallbackStart = now + 2
+		m.pendingAnnounce = &Fallback{V: m.buDecision, Proof: m.buProof}
+	}
+}
+
+// boundary performs round-r actions (r in 2..5).
+func (m *Machine) boundary(now types.Tick, r int) []proto.Outgoing {
+	amLeader := m.cfg.ID == m.leader
+	switch r {
+	case 2:
+		if !amLeader {
+			return nil
+		}
+		for _, key := range []string{string(types.Zero), string(types.One)} {
+			shares := m.inputShares[key]
+			if len(shares) < m.cfg.Params.SmallQuorum() {
+				continue
+			}
+			v := types.Value(key)
+			cert, err := m.small.Combine(inputBase(m.cfg.Tag, v), m.shareList(shares))
+			if err != nil {
+				continue
+			}
+			return proto.Broadcast(m.cfg.Params, "", Propose{V: v, Cert: cert})
+		}
+	case 3:
+		if m.proposal == nil {
+			return nil
+		}
+		share, err := m.signer.Sign(decideBase(m.cfg.Tag, m.proposal.V))
+		if err != nil {
+			m.fail(err)
+			return nil
+		}
+		return proto.Unicast(m.leader, "", DecideShare{V: m.proposal.V, Share: share})
+	case 4:
+		if !amLeader {
+			return nil
+		}
+		for _, key := range []string{string(types.Zero), string(types.One)} {
+			shares := m.decideShares[key]
+			if len(shares) < m.cfg.Params.N {
+				continue
+			}
+			v := types.Value(key)
+			cert, err := m.full.Combine(decideBase(m.cfg.Tag, v), m.shareList(shares))
+			if err != nil {
+				continue
+			}
+			return proto.Broadcast(m.cfg.Params, "", DecideMsg{V: v, Cert: cert})
+		}
+	case 5:
+		// Line 13–18: holders of QC_decide decided via ingest; everyone
+		// else announces the fallback.
+		if !m.decided && m.fallbackStart < 0 {
+			m.fallbackStart = now + 2
+			return proto.Broadcast(m.cfg.Params, "", Fallback{})
+		}
+	}
+	return nil
+}
+
+// shareList converts a signer-keyed share map to a deterministic slice.
+func (m *Machine) shareList(shares map[types.ProcessID]sig.Signature) []threshold.Share {
+	list := make([]threshold.Share, 0, len(shares))
+	for _, id := range m.cfg.Params.AllProcesses() {
+		if s, ok := shares[id]; ok {
+			list = append(list, threshold.Share{Signer: id, Sig: s})
+		}
+	}
+	return list
+}
+
+// setDecision records the decision once.
+func (m *Machine) setDecision(v types.Value, proof *threshold.Cert) {
+	if m.decided {
+		return
+	}
+	m.decided = true
+	m.decision = v.Clone()
+	m.proof = proof
+	m.decidedAtTick = m.nowTick
+	m.buDecision = m.decision
+	m.buProof = proof
+}
+
+// startFallback launches A_fallback (line 28).
+func (m *Machine) startFallback(now types.Tick) []proto.Outgoing {
+	m.ranFallback = true
+	fb := fallback.NewMachine(fallback.Config{
+		Params:   m.cfg.Params,
+		Crypto:   m.cfg.Crypto,
+		ID:       m.cfg.ID,
+		Input:    m.buDecision,
+		Tag:      m.cfg.Tag + "/" + fbSession,
+		RoundDur: 2,
+	})
+	m.fbSub = proto.NewSub(fbSession, fb)
+	return m.fbSub.Begin(now)
+}
+
+// finishFallback adopts the fallback output (lines 29–30).
+func (m *Machine) finishFallback() {
+	if m.fbSub == nil || !m.fbSub.Done() || m.fbAdopted {
+		return
+	}
+	m.fbAdopted = true
+	if m.decided {
+		return
+	}
+	fv, _ := m.fbSub.Output()
+	m.setDecision(fv, nil)
+}
+
+// fail records the first internal error.
+func (m *Machine) fail(err error) {
+	if m.err == nil {
+		m.err = fmt.Errorf("strongba %v: %w", m.cfg.ID, err)
+	}
+}
+
+// Component-signature accounting (proto.SigCarrier).
+
+// SigCount implements proto.SigCarrier.
+func (InputShare) SigCount() int { return 1 }
+
+// SigCount implements proto.SigCarrier.
+func (m Propose) SigCount() int { return m.Cert.Count() }
+
+// SigCount implements proto.SigCarrier.
+func (DecideShare) SigCount() int { return 1 }
+
+// SigCount implements proto.SigCarrier.
+func (m DecideMsg) SigCount() int { return m.Cert.Count() }
+
+// SigCount implements proto.SigCarrier.
+func (m Fallback) SigCount() int { return m.Proof.Count() }
+
+// DecideBaseFor exposes the decide-share sign base for external invariant
+// monitors and attack construction.
+func DecideBaseFor(tag string, v types.Value) []byte { return decideBase(tag, v) }

@@ -1,0 +1,93 @@
+package strongba
+
+import (
+	"fmt"
+
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/wire"
+)
+
+// RegisterWire registers this package's payload codecs.
+func RegisterWire(reg *wire.Registry) {
+	reg.MustRegister(
+		wire.Codec{
+			Type: InputShare{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(InputShare)
+				if !ok {
+					return badType(p)
+				}
+				w.PutValue(m.V)
+				w.PutSig(m.Share)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return InputShare{V: r.Value(), Share: r.Sig()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: Propose{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(Propose)
+				if !ok {
+					return badType(p)
+				}
+				w.PutValue(m.V)
+				w.PutCert(m.Cert)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return Propose{V: r.Value(), Cert: r.Cert()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: DecideShare{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(DecideShare)
+				if !ok {
+					return badType(p)
+				}
+				w.PutValue(m.V)
+				w.PutSig(m.Share)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return DecideShare{V: r.Value(), Share: r.Sig()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: DecideMsg{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(DecideMsg)
+				if !ok {
+					return badType(p)
+				}
+				w.PutValue(m.V)
+				w.PutCert(m.Cert)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return DecideMsg{V: r.Value(), Cert: r.Cert()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: Fallback{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(Fallback)
+				if !ok {
+					return badType(p)
+				}
+				w.PutValue(m.V)
+				w.PutCert(m.Proof)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return Fallback{V: r.Value(), Proof: r.Cert()}, r.Err()
+			},
+		},
+	)
+}
+
+func badType(p proto.Payload) error {
+	return fmt.Errorf("strongba: unexpected payload %T", p)
+}

@@ -1,0 +1,52 @@
+// Package valid defines the external validity predicates of the paper's
+// weak Byzantine Agreement (Definition 3, unique validity). A predicate is
+// any locally computable boolean over values; the application layer picks
+// the predicate, and weak BA guarantees that a non-⊥ decision satisfies
+// it, while ⊥ may only be decided when more than one valid value exists in
+// the run.
+package valid
+
+import "adaptiveba/internal/types"
+
+// Predicate decides whether a value is valid. Implementations must be
+// deterministic and locally computable (they may verify signatures or
+// certificates embedded in the value, as BB_valid does).
+type Predicate interface {
+	// Name identifies the predicate in logs and experiment output.
+	Name() string
+	// Validate reports whether v is valid. ⊥ is never valid: ⊥ is the
+	// distinguished "no unanimous valid value" outcome, not a value.
+	Validate(v types.Value) bool
+}
+
+// Func adapts a plain function to a Predicate.
+type Func struct {
+	// PredicateName is returned by Name.
+	PredicateName string
+	// Fn implements Validate.
+	Fn func(types.Value) bool
+}
+
+var _ Predicate = Func{}
+
+// Name implements Predicate.
+func (f Func) Name() string { return f.PredicateName }
+
+// Validate implements Predicate.
+func (f Func) Validate(v types.Value) bool {
+	if v.IsBottom() {
+		return false
+	}
+	return f.Fn(v)
+}
+
+// NonBottom accepts every non-⊥ value: the weakest useful predicate,
+// matching external validity with a trivially satisfiable predicate.
+func NonBottom() Predicate {
+	return Func{PredicateName: "non-bottom", Fn: func(types.Value) bool { return true }}
+}
+
+// Binary accepts exactly the canonical binary values {0, 1}.
+func Binary() Predicate {
+	return Func{PredicateName: "binary", Fn: func(v types.Value) bool { return v.IsBinary() }}
+}

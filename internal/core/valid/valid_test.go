@@ -1,0 +1,61 @@
+package valid
+
+import (
+	"bytes"
+	"testing"
+
+	"adaptiveba/internal/types"
+)
+
+func TestNonBottom(t *testing.T) {
+	p := NonBottom()
+	if p.Name() != "non-bottom" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if !p.Validate(types.Value("anything")) {
+		t.Error("non-empty value rejected")
+	}
+	if p.Validate(types.Bottom) {
+		t.Error("⊥ accepted: ⊥ is never a valid value")
+	}
+	if p.Validate(types.Value{}) {
+		t.Error("empty value accepted")
+	}
+}
+
+func TestBinary(t *testing.T) {
+	p := Binary()
+	if !p.Validate(types.Zero) || !p.Validate(types.One) {
+		t.Error("canonical binaries rejected")
+	}
+	for _, v := range []types.Value{types.Bottom, types.Value("x"), {2}, {0, 0}} {
+		if p.Validate(v) {
+			t.Errorf("non-binary %v accepted", v)
+		}
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	p := Func{
+		PredicateName: "prefix",
+		Fn:            func(v types.Value) bool { return bytes.HasPrefix(v, []byte("tx:")) },
+	}
+	if p.Name() != "prefix" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if !p.Validate(types.Value("tx:42")) {
+		t.Error("matching value rejected")
+	}
+	if p.Validate(types.Value("block:42")) {
+		t.Error("non-matching value accepted")
+	}
+	// ⊥ short-circuits before Fn runs.
+	called := false
+	q := Func{PredicateName: "spy", Fn: func(types.Value) bool { called = true; return true }}
+	if q.Validate(types.Bottom) {
+		t.Error("⊥ accepted")
+	}
+	if called {
+		t.Error("Fn invoked for ⊥")
+	}
+}

@@ -1,0 +1,164 @@
+package wba
+
+import (
+	"fmt"
+
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/wire"
+)
+
+// RegisterWire registers this package's payload codecs. The nested
+// fallback session reuses the Dolev–Strong relay codec, which the caller
+// registers separately (the transport setup registers every protocol).
+func RegisterWire(reg *wire.Registry) {
+	reg.MustRegister(
+		wire.Codec{
+			Type: Propose{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(Propose)
+				if !ok {
+					return badType(p)
+				}
+				w.PutInt(m.Phase)
+				w.PutValue(m.V)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return Propose{Phase: r.Int(), V: r.Value()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: Vote{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(Vote)
+				if !ok {
+					return badType(p)
+				}
+				w.PutInt(m.Phase)
+				w.PutValue(m.V)
+				w.PutSig(m.Share)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return Vote{Phase: r.Int(), V: r.Value(), Share: r.Sig()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: CommitInfo{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(CommitInfo)
+				if !ok {
+					return badType(p)
+				}
+				w.PutInt(m.Phase)
+				w.PutValue(m.V)
+				w.PutCert(m.Cert)
+				w.PutInt(m.Level)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return CommitInfo{Phase: r.Int(), V: r.Value(), Cert: r.Cert(), Level: r.Int()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: Commit{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(Commit)
+				if !ok {
+					return badType(p)
+				}
+				w.PutInt(m.Phase)
+				w.PutValue(m.V)
+				w.PutCert(m.Cert)
+				w.PutInt(m.Level)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return Commit{Phase: r.Int(), V: r.Value(), Cert: r.Cert(), Level: r.Int()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: Decide{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(Decide)
+				if !ok {
+					return badType(p)
+				}
+				w.PutInt(m.Phase)
+				w.PutValue(m.V)
+				w.PutSig(m.Share)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return Decide{Phase: r.Int(), V: r.Value(), Share: r.Sig()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: Finalized{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(Finalized)
+				if !ok {
+					return badType(p)
+				}
+				w.PutInt(m.Phase)
+				w.PutValue(m.V)
+				w.PutCert(m.Cert)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return Finalized{Phase: r.Int(), V: r.Value(), Cert: r.Cert()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: HelpReq{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(HelpReq)
+				if !ok {
+					return badType(p)
+				}
+				w.PutSig(m.Share)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return HelpReq{Share: r.Sig()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: Help{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(Help)
+				if !ok {
+					return badType(p)
+				}
+				w.PutValue(m.V)
+				w.PutCert(m.Proof)
+				w.PutInt(m.ProofPhase)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return Help{V: r.Value(), Proof: r.Cert(), ProofPhase: r.Int()}, r.Err()
+			},
+		},
+		wire.Codec{
+			Type: FallbackCert{}.Type(),
+			Encode: func(w *wire.Writer, p proto.Payload) error {
+				m, ok := p.(FallbackCert)
+				if !ok {
+					return badType(p)
+				}
+				w.PutCert(m.Cert)
+				w.PutValue(m.V)
+				w.PutCert(m.Proof)
+				w.PutInt(m.ProofPhase)
+				return nil
+			},
+			Decode: func(r *wire.Reader) (proto.Payload, error) {
+				return FallbackCert{Cert: r.Cert(), V: r.Value(), Proof: r.Cert(), ProofPhase: r.Int()}, r.Err()
+			},
+		},
+	)
+}
+
+func badType(p proto.Payload) error {
+	return fmt.Errorf("wba: unexpected payload %T", p)
+}

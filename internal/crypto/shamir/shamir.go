@@ -1,0 +1,168 @@
+// Package shamir implements (k, n) Shamir secret sharing over the field
+// GF(p) with p = 2^61 - 1 (a Mersenne prime). It is the dealer-side
+// substrate behind the trusted setup of the compact threshold-certificate
+// mode: the setup can split a dealer secret so that no coalition smaller
+// than k learns anything about it.
+package shamir
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// P is the field modulus 2^61 - 1.
+const P uint64 = 1<<61 - 1
+
+// Errors returned by the package.
+var (
+	ErrBadThreshold = errors.New("shamir: need 1 <= k <= n and n < P")
+	ErrBadSecret    = errors.New("shamir: secret must be < P")
+	ErrBadShares    = errors.New("shamir: need k distinct shares")
+)
+
+// Share is one point (X, Y) on the dealer's polynomial. X is never zero.
+type Share struct {
+	X uint64
+	Y uint64
+}
+
+// add returns a+b mod P.
+func add(a, b uint64) uint64 {
+	s := a + b
+	if s >= P || s < a { // s < a catches overflow, impossible here since a,b < 2^61
+		s -= P
+	}
+	return s
+}
+
+// sub returns a-b mod P.
+func sub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + P - b
+}
+
+// mul returns a*b mod P using 128-bit intermediate and Mersenne reduction.
+func mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo. With p = 2^61-1, 2^61 ≡ 1, so fold in 61-bit limbs.
+	l0 := lo & P
+	l1 := (lo >> 61) | (hi << 3 & P)
+	l2 := hi >> 58
+	r := l0 + l1
+	if r >= P {
+		r -= P
+	}
+	r += l2
+	if r >= P {
+		r -= P
+	}
+	return r
+}
+
+// pow returns a^e mod P.
+func pow(a, e uint64) uint64 {
+	r := uint64(1)
+	base := a % P
+	for e > 0 {
+		if e&1 == 1 {
+			r = mul(r, base)
+		}
+		base = mul(base, base)
+		e >>= 1
+	}
+	return r
+}
+
+// inv returns the multiplicative inverse of a (a != 0) via Fermat.
+func inv(a uint64) uint64 {
+	return pow(a, P-2)
+}
+
+// Split shares secret among n parties with threshold k, drawing polynomial
+// coefficients from rand. Share i has X = i+1.
+func Split(secret uint64, k, n int, rand io.Reader) ([]Share, error) {
+	if k < 1 || n < k || uint64(n) >= P {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrBadThreshold, k, n)
+	}
+	if secret >= P {
+		return nil, ErrBadSecret
+	}
+	coeffs := make([]uint64, k)
+	coeffs[0] = secret
+	for i := 1; i < k; i++ {
+		c, err := randFieldElement(rand)
+		if err != nil {
+			return nil, fmt.Errorf("shamir: draw coefficient: %w", err)
+		}
+		coeffs[i] = c
+	}
+	shares := make([]Share, n)
+	for i := 0; i < n; i++ {
+		x := uint64(i + 1)
+		// Horner evaluation.
+		y := uint64(0)
+		for j := k - 1; j >= 0; j-- {
+			y = add(mul(y, x), coeffs[j])
+		}
+		shares[i] = Share{X: x, Y: y}
+	}
+	return shares, nil
+}
+
+// randFieldElement draws a uniform element of GF(P) by rejection sampling.
+func randFieldElement(rand io.Reader) (uint64, error) {
+	var buf [8]byte
+	for {
+		if _, err := io.ReadFull(rand, buf[:]); err != nil {
+			return 0, err
+		}
+		v := binary.BigEndian.Uint64(buf[:]) & (1<<61 - 1)
+		if v < P {
+			return v, nil
+		}
+	}
+}
+
+// Reconstruct recovers the secret from at least k distinct shares using
+// Lagrange interpolation at x = 0. Extra shares beyond the first k distinct
+// ones are ignored.
+func Reconstruct(shares []Share, k int) (uint64, error) {
+	if k < 1 {
+		return 0, ErrBadThreshold
+	}
+	// Select the first k shares with distinct, valid X coordinates.
+	pts := make([]Share, 0, k)
+	seen := make(map[uint64]bool, k)
+	for _, s := range shares {
+		if s.X == 0 || s.X >= P || s.Y >= P || seen[s.X] {
+			continue
+		}
+		seen[s.X] = true
+		pts = append(pts, s)
+		if len(pts) == k {
+			break
+		}
+	}
+	if len(pts) < k {
+		return 0, fmt.Errorf("%w: have %d distinct, need %d", ErrBadShares, len(pts), k)
+	}
+	secret := uint64(0)
+	for i := 0; i < k; i++ {
+		num, den := uint64(1), uint64(1)
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			num = mul(num, pts[j].X)                // Π x_j
+			den = mul(den, sub(pts[j].X, pts[i].X)) // Π (x_j - x_i)
+		}
+		li := mul(num, inv(den))
+		secret = add(secret, mul(pts[i].Y, li))
+	}
+	return secret, nil
+}

@@ -1,0 +1,193 @@
+package shamir
+
+import (
+	"crypto/rand"
+	"errors"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitReconstructRoundTrip(t *testing.T) {
+	tests := []struct {
+		name   string
+		secret uint64
+		k, n   int
+	}{
+		{name: "2-of-3", secret: 42, k: 2, n: 3},
+		{name: "1-of-1", secret: 7, k: 1, n: 1},
+		{name: "5-of-9", secret: P - 1, k: 5, n: 9},
+		{name: "t+1 of 2t+1", secret: 123456789, k: 11, n: 21},
+		{name: "zero secret", secret: 0, k: 3, n: 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			shares, err := Split(tt.secret, tt.k, tt.n, rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(shares) != tt.n {
+				t.Fatalf("got %d shares", len(shares))
+			}
+			got, err := Reconstruct(shares[:tt.k], tt.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.secret {
+				t.Errorf("Reconstruct = %d, want %d", got, tt.secret)
+			}
+		})
+	}
+}
+
+func TestReconstructFromAnySubset(t *testing.T) {
+	secret := uint64(987654321)
+	k, n := 4, 10
+	shares, err := Split(secret, k, n, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(n)
+		subset := make([]Share, k)
+		for i := 0; i < k; i++ {
+			subset[i] = shares[perm[i]]
+		}
+		got, err := Reconstruct(subset, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != secret {
+			t.Fatalf("trial %d: got %d", trial, got)
+		}
+	}
+}
+
+func TestTooFewShares(t *testing.T) {
+	shares, err := Split(5, 3, 5, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Reconstruct(shares[:2], 3); !errors.Is(err, ErrBadShares) {
+		t.Errorf("err = %v", err)
+	}
+	// Duplicated shares do not count twice.
+	dup := []Share{shares[0], shares[0], shares[0]}
+	if _, err := Reconstruct(dup, 3); !errors.Is(err, ErrBadShares) {
+		t.Errorf("duplicates counted: %v", err)
+	}
+}
+
+func TestKMinusOneSharesRevealNothingStructural(t *testing.T) {
+	// With k-1 shares, every candidate secret is consistent with some
+	// polynomial; verify at least that two different secrets can produce
+	// an identical first share when coefficients differ (no functional
+	// dependence of a single share on the secret alone).
+	sharesA, err := Split(1, 2, 2, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Craft: for secret 2, choose coefficient so that share at X=1 equals
+	// sharesA[0]. y = s + c*1 => c = y - s.
+	y := sharesA[0].Y
+	c := sub(y, 2)
+	manual := Share{X: 1, Y: add(2, mul(c, 1))}
+	if manual.Y != y {
+		t.Fatalf("could not construct colliding share: %d vs %d", manual.Y, y)
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	if _, err := Split(1, 0, 3, rand.Reader); !errors.Is(err, ErrBadThreshold) {
+		t.Errorf("k=0: %v", err)
+	}
+	if _, err := Split(1, 4, 3, rand.Reader); !errors.Is(err, ErrBadThreshold) {
+		t.Errorf("k>n: %v", err)
+	}
+	if _, err := Split(P, 2, 3, rand.Reader); !errors.Is(err, ErrBadSecret) {
+		t.Errorf("secret >= P: %v", err)
+	}
+	if _, err := Reconstruct(nil, 0); !errors.Is(err, ErrBadThreshold) {
+		t.Error("Reconstruct accepted k=0")
+	}
+}
+
+func TestReconstructSkipsMalformedShares(t *testing.T) {
+	shares, err := Split(77, 2, 3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polluted := append([]Share{{X: 0, Y: 1}, {X: 1, Y: P}}, shares...)
+	got, err := Reconstruct(polluted, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestFieldArithmetic(t *testing.T) {
+	if got := mul(P-1, P-1); got != 1 {
+		// (-1)*(-1) = 1 mod P
+		t.Errorf("mul(P-1,P-1) = %d", got)
+	}
+	if got := add(P-1, 1); got != 0 {
+		t.Errorf("add(P-1,1) = %d", got)
+	}
+	if got := sub(0, 1); got != P-1 {
+		t.Errorf("sub(0,1) = %d", got)
+	}
+	if got := pow(3, P-1); got != 1 {
+		// Fermat's little theorem.
+		t.Errorf("3^(P-1) = %d", got)
+	}
+	for _, a := range []uint64{1, 2, 12345, P - 1, P / 2} {
+		if got := mul(a, inv(a)); got != 1 {
+			t.Errorf("a*inv(a) = %d for a=%d", got, a)
+		}
+	}
+}
+
+func TestQuickFieldMulMatchesBigIntSemantics(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= P
+		b %= P
+		got := mul(a, b)
+		// Reference via 128-bit decomposition using math/bits directly with
+		// mod-by-subtraction on the folded limbs mirrors the implementation;
+		// instead check ring axioms on random triples.
+		return got < P && mul(a, b) == mul(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b, c uint64) bool {
+		a %= P
+		b %= P
+		c %= P
+		// Distributivity: a*(b+c) == a*b + a*c.
+		return mul(a, add(b, c)) == add(mul(a, b), mul(a, c))
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSplitReconstruct(t *testing.T) {
+	f := func(secretRaw uint64, kRaw, extraRaw uint8) bool {
+		secret := secretRaw % P
+		k := int(kRaw%10) + 1
+		n := k + int(extraRaw%10)
+		shares, err := Split(secret, k, n, rand.Reader)
+		if err != nil {
+			return false
+		}
+		got, err := Reconstruct(shares[n-k:], k)
+		return err == nil && got == secret
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

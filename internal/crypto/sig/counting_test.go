@@ -1,0 +1,28 @@
+package sig
+
+import "testing"
+
+func TestCountingScheme(t *testing.T) {
+	inner, err := NewHMACRing(3, []byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCounting(inner)
+	if c.N() != 3 || c.SignatureSize() != inner.SignatureSize() {
+		t.Error("metadata not forwarded")
+	}
+	if c.Name() != "hmac+count" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	s, err := c.Sign(1, []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Verify(1, []byte("m"), s) {
+		t.Error("verify failed")
+	}
+	c.Verify(1, []byte("x"), s)
+	if c.Signs() != 1 || c.Verifies() != 2 {
+		t.Errorf("counters: signs=%d verifies=%d", c.Signs(), c.Verifies())
+	}
+}

@@ -1,0 +1,167 @@
+package sig
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"adaptiveba/internal/types"
+)
+
+func rings(t *testing.T, n int) []Scheme {
+	t.Helper()
+	ed, err := NewEd25519Ring(n, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := NewHMACRing(n, []byte("test-seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Scheme{ed, hm}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	for _, sch := range rings(t, 5) {
+		t.Run(sch.Name(), func(t *testing.T) {
+			msg := []byte("make every word count")
+			for id := types.ProcessID(0); id < 5; id++ {
+				s, err := sch.Sign(id, msg)
+				if err != nil {
+					t.Fatalf("Sign(%v): %v", id, err)
+				}
+				if !sch.Verify(id, msg, s) {
+					t.Errorf("valid signature by %v rejected", id)
+				}
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	for _, sch := range rings(t, 3) {
+		t.Run(sch.Name(), func(t *testing.T) {
+			msg := []byte("payload")
+			s, err := sch.Sign(1, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sch.Verify(1, []byte("payloae"), s) {
+				t.Error("signature verified for different message")
+			}
+			if sch.Verify(2, msg, s) {
+				t.Error("signature verified for different signer")
+			}
+			bad := s.Clone()
+			bad[0] ^= 0xff
+			if sch.Verify(1, msg, bad) {
+				t.Error("tampered signature verified")
+			}
+			if sch.Verify(1, msg, nil) {
+				t.Error("nil signature verified")
+			}
+		})
+	}
+}
+
+func TestOutOfRangeSigner(t *testing.T) {
+	for _, sch := range rings(t, 3) {
+		t.Run(sch.Name(), func(t *testing.T) {
+			if _, err := sch.Sign(3, []byte("m")); !errors.Is(err, ErrUnknownSigner) {
+				t.Errorf("Sign out of range: err = %v", err)
+			}
+			if _, err := sch.Sign(types.NilProcess, []byte("m")); !errors.Is(err, ErrUnknownSigner) {
+				t.Errorf("Sign nil process: err = %v", err)
+			}
+			if sch.Verify(7, []byte("m"), Signature("x")) {
+				t.Error("verify accepted out-of-range signer")
+			}
+		})
+	}
+}
+
+func TestRingSizeValidation(t *testing.T) {
+	if _, err := NewEd25519Ring(0, rand.Reader); err == nil {
+		t.Error("ed25519 ring of size 0 accepted")
+	}
+	if _, err := NewHMACRing(-1, nil); err == nil {
+		t.Error("hmac ring of size -1 accepted")
+	}
+}
+
+func TestSchemeMetadata(t *testing.T) {
+	for _, sch := range rings(t, 4) {
+		if sch.N() != 4 {
+			t.Errorf("%s: N = %d", sch.Name(), sch.N())
+		}
+		if sch.SignatureSize() <= 0 {
+			t.Errorf("%s: SignatureSize = %d", sch.Name(), sch.SignatureSize())
+		}
+		s, err := sch.Sign(0, []byte("m"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s) != sch.SignatureSize() {
+			t.Errorf("%s: signature length %d != declared %d", sch.Name(), len(s), sch.SignatureSize())
+		}
+	}
+}
+
+func TestHMACDeterministicAcrossRings(t *testing.T) {
+	a, _ := NewHMACRing(3, []byte("seed"))
+	b, _ := NewHMACRing(3, []byte("seed"))
+	sa, _ := a.Sign(2, []byte("m"))
+	if !b.Verify(2, []byte("m"), sa) {
+		t.Error("same-seed rings disagree")
+	}
+	c, _ := NewHMACRing(3, []byte("other"))
+	if c.Verify(2, []byte("m"), sa) {
+		t.Error("different-seed ring verified foreign signature")
+	}
+}
+
+func TestSignerCapability(t *testing.T) {
+	sch := rings(t, 3)[1]
+	s := NewSigner(sch, 2)
+	if s.ID() != 2 {
+		t.Fatalf("ID = %v", s.ID())
+	}
+	sg, err := s.Sign([]byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sch.Verify(2, []byte("m"), sg) {
+		t.Error("signer signature invalid")
+	}
+}
+
+func TestSignatureCloneIndependence(t *testing.T) {
+	s := Signature{1, 2, 3}
+	c := s.Clone()
+	c[0] = 9
+	if s[0] != 1 {
+		t.Error("Clone aliases original")
+	}
+	if Signature(nil).Clone() != nil {
+		t.Error("nil clone should stay nil")
+	}
+}
+
+// Property: for random messages, signatures verify for the right (signer,
+// message) pair and fail when the message is perturbed.
+func TestQuickSignVerify(t *testing.T) {
+	hm, _ := NewHMACRing(7, []byte("q"))
+	f := func(msg []byte, idRaw uint8, flip uint8) bool {
+		id := types.ProcessID(int(idRaw) % 7)
+		s, err := hm.Sign(id, msg)
+		if err != nil || !hm.Verify(id, msg, s) {
+			return false
+		}
+		mutated := append([]byte{flip ^ 0xAA}, msg...)
+		return !hm.Verify(id, mutated, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package threshold
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/types"
+)
+
+func benchCombine(b *testing.B, n int, mode Mode) {
+	base, err := sig.NewHMACRing(n, []byte("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := (n + (n-1)/2 + 2) / 2 // the paper's quorum
+	s, err := New(base, k, mode, []byte("d"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := []byte("m")
+	shares := make([]Share, k)
+	for i := 0; i < k; i++ {
+		sh, err := s.SignShare(types.ProcessID(i), msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shares[i] = sh
+	}
+	var cert *Cert
+	b.Run("combine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, err := s.Combine(msg, shares)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cert = c
+		}
+	})
+	b.Run("verify", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !s.Verify(msg, cert) {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+}
+
+func BenchmarkQuorumCert(b *testing.B) {
+	for _, n := range []int{21, 101} {
+		for _, mode := range []Mode{ModeAggregate, ModeCompact} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode), func(b *testing.B) {
+				benchCombine(b, n, mode)
+			})
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package fallback
+
+import (
+	"testing"
+
+	"adaptiveba/internal/baseline/dolevstrong"
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+func setup(t *testing.T, n int) (*proto.Crypto, types.Params) {
+	t.Helper()
+	params, err := types.NewParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := sig.NewHMACRing(n, []byte("fb-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("d")), params
+}
+
+func factory(crypto *proto.Crypto, params types.Params, dur int, input func(types.ProcessID) types.Value) func(types.ProcessID) proto.Machine {
+	return func(id types.ProcessID) proto.Machine {
+		return NewMachine(Config{
+			Params:   params,
+			Crypto:   crypto,
+			ID:       id,
+			Input:    input(id),
+			Tag:      "fb",
+			RoundDur: dur,
+		})
+	}
+}
+
+func TestStrongUnanimityFailureFree(t *testing.T) {
+	for _, n := range []int{3, 5, 7} {
+		crypto, params := setup(t, n)
+		res, err := sim.Run(sim.Config{
+			Params:   params,
+			Crypto:   crypto,
+			Factory:  factory(crypto, params, 1, func(types.ProcessID) types.Value { return types.Value("v") }),
+			MaxTicks: 2000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllDecided() {
+			t.Fatalf("n=%d: not all decided", n)
+		}
+		v, ok := res.Agreement()
+		if !ok || !v.Equal(types.Value("v")) {
+			t.Errorf("n=%d: decided %v (%v), want v", n, v, ok)
+		}
+	}
+}
+
+func TestSplitInputsStillAgree(t *testing.T) {
+	crypto, params := setup(t, 7)
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: factory(crypto, params, 1, func(id types.ProcessID) types.Value {
+			if id%2 == 0 {
+				return types.Value("even")
+			}
+			return types.Value("odd")
+		}),
+		MaxTicks: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	v, ok := res.Agreement()
+	if !ok {
+		t.Fatal("agreement violated on split inputs")
+	}
+	// 4 even vs 3 odd: plurality is "even".
+	if !v.Equal(types.Value("even")) {
+		t.Errorf("plurality = %v", v)
+	}
+}
+
+type crashAdv struct {
+	ids []types.ProcessID
+	env sim.Env
+}
+
+func (a *crashAdv) Init(env sim.Env) { a.env = env }
+func (a *crashAdv) Corruptions() []sim.Corruption {
+	cs := make([]sim.Corruption, len(a.ids))
+	for i, id := range a.ids {
+		cs[i] = sim.Corruption{ID: id}
+	}
+	return cs
+}
+func (a *crashAdv) Observe(types.Tick, types.ProcessID, []proto.Incoming) {}
+func (a *crashAdv) Act(types.Tick, []sim.Message) []sim.Message           { return nil }
+func (a *crashAdv) Quiescent(types.Tick) bool                             { return true }
+
+func TestStrongUnanimityWithCrashes(t *testing.T) {
+	crypto, params := setup(t, 7) // t = 3
+	res, err := sim.Run(sim.Config{
+		Params:    params,
+		Crypto:    crypto,
+		Factory:   factory(crypto, params, 1, func(types.ProcessID) types.Value { return types.Value("u") }),
+		Adversary: &crashAdv{ids: []types.ProcessID{0, 3, 6}},
+		MaxTicks:  2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	v, ok := res.Agreement()
+	if !ok || !v.Equal(types.Value("u")) {
+		t.Errorf("decided %v (%v), want u despite t crashes", v, ok)
+	}
+}
+
+// byzInputAdv runs the protocol honestly for its corrupted processes but
+// with a conflicting input value: strong unanimity must still force the
+// correct processes' common value.
+type byzInputAdv struct {
+	crashAdv
+	machines map[types.ProcessID]proto.Machine
+	inboxes  map[types.ProcessID][]proto.Incoming
+	begun    bool
+}
+
+func newByzInputAdv(ids []types.ProcessID) *byzInputAdv {
+	return &byzInputAdv{
+		crashAdv: crashAdv{ids: ids},
+		machines: make(map[types.ProcessID]proto.Machine),
+		inboxes:  make(map[types.ProcessID][]proto.Incoming),
+	}
+}
+
+func (a *byzInputAdv) Observe(now types.Tick, to types.ProcessID, inbox []proto.Incoming) {
+	a.inboxes[to] = append(a.inboxes[to], inbox...)
+}
+
+func (a *byzInputAdv) Act(now types.Tick, _ []sim.Message) []sim.Message {
+	if !a.begun {
+		a.begun = true
+		for _, id := range a.ids {
+			a.machines[id] = NewMachine(Config{
+				Params:   a.env.Params,
+				Crypto:   a.env.Crypto,
+				ID:       id,
+				Input:    types.Value("evil"),
+				Tag:      "fb",
+				RoundDur: 1,
+			})
+		}
+	}
+	var msgs []sim.Message
+	for _, id := range a.ids {
+		m := a.machines[id]
+		var outs []proto.Outgoing
+		if now == 0 {
+			outs = m.Begin(0)
+		} else {
+			outs = m.Tick(now, a.inboxes[id])
+			a.inboxes[id] = nil
+		}
+		for _, o := range outs {
+			msgs = append(msgs, sim.Message{From: id, To: o.To, Session: o.Session, Payload: o.Payload})
+		}
+	}
+	return msgs
+}
+
+func TestStrongUnanimityAgainstByzantineMinority(t *testing.T) {
+	crypto, params := setup(t, 7) // t = 3: 4 correct with "good", 3 byzantine with "evil"
+	res, err := sim.Run(sim.Config{
+		Params:    params,
+		Crypto:    crypto,
+		Factory:   factory(crypto, params, 1, func(types.ProcessID) types.Value { return types.Value("good") }),
+		Adversary: newByzInputAdv([]types.ProcessID{1, 2, 5}),
+		MaxTicks:  2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	v, ok := res.Agreement()
+	if !ok {
+		t.Fatal("agreement violated")
+	}
+	if !v.Equal(types.Value("good")) {
+		t.Errorf("decided %v, want good (strong unanimity)", v)
+	}
+}
+
+// delayedStart defers Begin by a per-process offset (at most 1 tick = δ),
+// exercising Lemma 18: with 2δ rounds, skewed starts must not break the
+// protocol.
+type delayedStart struct {
+	inner proto.Machine
+	delay types.Tick
+	sub   *proto.Sub
+}
+
+func newDelayedStart(inner proto.Machine, delay types.Tick) *delayedStart {
+	return &delayedStart{inner: inner, delay: delay, sub: proto.NewSub("d", inner)}
+}
+
+func (d *delayedStart) Begin(now types.Tick) []proto.Outgoing {
+	if d.delay == 0 {
+		return d.sub.Begin(now)
+	}
+	return nil
+}
+
+func (d *delayedStart) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing {
+	mine, _ := d.sub.Route(inbox)
+	var outs []proto.Outgoing
+	if !d.sub.Started() && now >= d.delay {
+		outs = append(outs, d.sub.Begin(now)...)
+	}
+	outs = append(outs, d.sub.Tick(now, mine)...)
+	return outs
+}
+
+func (d *delayedStart) Output() (types.Value, bool) { return d.sub.Output() }
+func (d *delayedStart) Done() bool                  { return d.sub.Done() }
+
+func TestSkewedStartsWithDoubleRounds(t *testing.T) {
+	crypto, params := setup(t, 5)
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			inner := NewMachine(Config{
+				Params:   params,
+				Crypto:   crypto,
+				ID:       id,
+				Input:    types.Value("s"),
+				Tag:      "fb",
+				RoundDur: 2, // δ' = 2δ as the paper prescribes
+			})
+			return newDelayedStart(inner, types.Tick(int(id)%2))
+		},
+		MaxTicks: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided() {
+		t.Fatal("not all decided under skewed starts")
+	}
+	v, ok := res.Agreement()
+	if !ok || !v.Equal(types.Value("s")) {
+		t.Errorf("decided %v (%v)", v, ok)
+	}
+}
+
+func TestAllBottomWhenEverythingCrashes(t *testing.T) {
+	// Corrupt t processes; the n-t correct ones still broadcast their
+	// inputs, so the decision is their common value — but if inputs are
+	// all distinct, plurality tie-breaks deterministically.
+	crypto, params := setup(t, 5)
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: factory(crypto, params, 1, func(id types.ProcessID) types.Value {
+			return types.Value{byte('a' + id)}
+		}),
+		Adversary: &crashAdv{ids: []types.ProcessID{0, 1}},
+		MaxTicks:  2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := res.Agreement()
+	if !ok {
+		t.Fatal("agreement violated")
+	}
+	// Distinct inputs c, d, e from p2, p3, p4: tie broken to smallest.
+	if !v.Equal(types.Value("c")) {
+		t.Errorf("tie-break decided %v, want c", v)
+	}
+}
+
+func TestDurationMatchesDecisionTick(t *testing.T) {
+	crypto, params := setup(t, 5) // t=2
+	m := NewMachine(Config{Params: params, Crypto: crypto, ID: 0, Input: types.Value("v"), Tag: "x", RoundDur: 2})
+	if m.Duration() != 6 {
+		t.Errorf("Duration = %d, want (t+1)*dur = 6", m.Duration())
+	}
+	inner := dolevstrong.NewMachine(dolevstrong.Config{Params: params, Crypto: crypto, ID: 0, Sender: 0, Tag: "y", RoundDur: 2})
+	if inner.Duration() != m.Duration() {
+		t.Errorf("fallback duration %d != instance duration %d", m.Duration(), inner.Duration())
+	}
+}

@@ -1,0 +1,213 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"adaptiveba/internal/adversary"
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/smr"
+	"adaptiveba/internal/types"
+)
+
+func TestApplyBasics(t *testing.T) {
+	s := NewStore()
+	steps := []struct {
+		cmd     string
+		wantErr bool
+	}{
+		{cmd: "SET a 1"},
+		{cmd: "SET b 2"},
+		{cmd: "DEL a"},
+		{cmd: "CAS b 2 3"},
+		{cmd: "CAS b 99 100"}, // mismatch: no-op, still valid
+		{cmd: "NOPE x", wantErr: true},
+		{cmd: "SET toofew", wantErr: true},
+		{cmd: "DEL a b", wantErr: true},
+		{cmd: "CAS a b", wantErr: true},
+		{cmd: "   ", wantErr: true},
+	}
+	for _, st := range steps {
+		err := s.Apply(types.Value(st.cmd))
+		if st.wantErr != (err != nil) {
+			t.Errorf("Apply(%q) err = %v", st.cmd, err)
+		}
+		if err != nil && !errors.Is(err, ErrBadCommand) {
+			t.Errorf("Apply(%q) err type: %v", st.cmd, err)
+		}
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Error("a survived DEL")
+	}
+	if v, _ := s.Get("b"); v != "3" {
+		t.Errorf("b = %q, want 3 (CAS applied once)", v)
+	}
+	if s.Applied() != len(steps) {
+		t.Errorf("Applied = %d", s.Applied())
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestBottomSlotIsNoOp(t *testing.T) {
+	s := NewStore()
+	if err := s.Apply(types.Bottom); err != nil {
+		t.Errorf("⊥ slot errored: %v", err)
+	}
+	if s.Applied() != 1 || s.Len() != 0 {
+		t.Errorf("state after ⊥: applied=%d len=%d", s.Applied(), s.Len())
+	}
+}
+
+func TestHashCanonical(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	// Same final state via different histories.
+	for _, c := range []string{"SET x 1", "SET y 2", "DEL x", "SET x 3"} {
+		if err := a.Apply(types.Value(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range []string{"SET y 2", "SET x 3"} {
+		if err := b.Apply(types.Value(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Hash() != b.Hash() {
+		t.Error("equal states hash differently")
+	}
+	if err := b.Apply(types.Value("SET z 9")); err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() == b.Hash() {
+		t.Error("different states hash equal")
+	}
+}
+
+func TestSnapshotIsolated(t *testing.T) {
+	s := NewStore()
+	if err := s.Apply(types.Value("SET k v")); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	snap["k"] = "tampered"
+	if v, _ := s.Get("k"); v != "v" {
+		t.Error("snapshot aliases store")
+	}
+}
+
+func TestReplayCollectsRejections(t *testing.T) {
+	entries := []smr.Entry{
+		{Slot: 0, Command: types.Value("SET a 1")},
+		{Slot: 1, Command: types.Bottom},
+		{Slot: 2, Command: types.Value("garbage from byzantine proposer")},
+		{Slot: 3, Command: types.Value("SET b 2")},
+	}
+	s, rejected := Replay(entries)
+	if len(rejected) != 1 {
+		t.Fatalf("rejected: %v", rejected)
+	}
+	if s.Len() != 2 || s.Applied() != 4 {
+		t.Errorf("len=%d applied=%d", s.Len(), s.Applied())
+	}
+}
+
+// TestQuickDeterminism: any command sequence applied to two fresh stores
+// yields identical hashes — the property replication correctness rests on.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(ops []uint8, keys []uint8) bool {
+		a, b := NewStore(), NewStore()
+		for i, op := range ops {
+			k := "k0"
+			if len(keys) > 0 {
+				k = fmt.Sprintf("k%d", keys[i%len(keys)]%5)
+			}
+			var cmd string
+			switch op % 4 {
+			case 0:
+				cmd = fmt.Sprintf("SET %s v%d", k, op)
+			case 1:
+				cmd = fmt.Sprintf("DEL %s", k)
+			case 2:
+				cmd = fmt.Sprintf("CAS %s v%d v%d", k, op, op+1)
+			case 3:
+				cmd = fmt.Sprintf("junk %d", op)
+			}
+			_ = a.Apply(types.Value(cmd))
+			_ = b.Apply(types.Value(cmd))
+		}
+		return a.Hash() == b.Hash() && a.Applied() == b.Applied()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEndToEndReplication runs the whole stack: commands → smr log over
+// the adaptive BB → kv state machines, with a crashed replica, asserting
+// state convergence across replicas.
+func TestEndToEndReplication(t *testing.T) {
+	const n = 5
+	params, err := types.NewParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := sig.NewHMACRing(n, []byte("kv-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crypto := proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("d"))
+
+	machines := make(map[types.ProcessID]*smr.Machine)
+	var budget types.Tick
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			m, err := smr.NewMachine(smr.Config{
+				Params: params, Crypto: crypto, ID: id, Tag: "kv", Slots: 10,
+				Queue: []types.Value{
+					types.Value(fmt.Sprintf("SET key%d %d", id, id)),
+					types.Value(fmt.Sprintf("CAS key%d %d updated", id, id)),
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			machines[id] = m
+			budget = m.MaxTicks()
+			return m
+		},
+		Adversary: adversary.NewCrash(4),
+		MaxTicks:  budget * 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	var wantHash string
+	for _, id := range res.Honest {
+		store, _ := Replay(machines[id].Log())
+		if wantHash == "" {
+			wantHash = store.Hash()
+			// p4 crashed: its keys never appear; others do and were CASed.
+			if _, ok := store.Get("key4"); ok {
+				t.Error("crashed replica's key committed")
+			}
+			if v, _ := store.Get("key0"); v != "updated" {
+				t.Errorf("key0 = %q, want updated", v)
+			}
+			continue
+		}
+		if store.Hash() != wantHash {
+			t.Errorf("replica %v state diverged", id)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package metrics implements the paper's cost model (Section 2): the
+// communication complexity of a run is the number of words sent by correct
+// processes, where a word carries a constant number of signatures and
+// values and every message costs at least one word.
+//
+// A Recorder is attached to a run by the simulator (or the TCP transport)
+// and receives one event per message send. It keeps totals, a per-protocol-
+// layer breakdown (used to regenerate Figure 1), and per-process counters.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"adaptiveba/internal/types"
+)
+
+// Stats aggregates the cost counters of some slice of a run.
+type Stats struct {
+	Messages   int64 // number of messages sent
+	Words      int64 // total words per the paper's model
+	Bytes      int64 // wire bytes (meaningful on the TCP transport; estimated in-sim)
+	Signatures int64 // individual signatures created for these messages
+}
+
+func (s *Stats) add(o Stats) {
+	s.Messages += o.Messages
+	s.Words += o.Words
+	s.Bytes += o.Bytes
+	s.Signatures += o.Signatures
+}
+
+// SendEvent describes a single message send.
+type SendEvent struct {
+	From   types.ProcessID
+	To     types.ProcessID
+	Words  int    // word cost of the message (>= 1 is enforced)
+	Bytes  int    // encoded size, if known
+	Sigs   int    // fresh signatures the sender created for this message
+	Layer  string // protocol layer path, e.g. "bb/wba/fallback"
+	Honest bool   // whether the sender is correct; only honest sends count
+}
+
+// Recorder accumulates events. It is safe for concurrent use.
+type Recorder struct {
+	mu sync.Mutex
+
+	honest    Stats
+	byzantine Stats
+	byLayer   map[string]*Stats
+	byProc    map[types.ProcessID]*Stats
+
+	combines     int64 // threshold-certificate combine operations
+	certVerifies int64
+	ticks        types.Tick
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		byLayer: make(map[string]*Stats),
+		byProc:  make(map[types.ProcessID]*Stats),
+	}
+}
+
+// RecordSend ingests one message-send event.
+func (r *Recorder) RecordSend(ev SendEvent) {
+	if ev.Words < 1 {
+		ev.Words = 1 // every message carries at least one word
+	}
+	s := Stats{
+		Messages:   1,
+		Words:      int64(ev.Words),
+		Bytes:      int64(ev.Bytes),
+		Signatures: int64(ev.Sigs),
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !ev.Honest {
+		r.byzantine.add(s)
+		return
+	}
+	r.honest.add(s)
+	layer := ev.Layer
+	if layer == "" {
+		layer = "(root)"
+	}
+	ls, ok := r.byLayer[layer]
+	if !ok {
+		ls = &Stats{}
+		r.byLayer[layer] = ls
+	}
+	ls.add(s)
+	ps, ok := r.byProc[ev.From]
+	if !ok {
+		ps = &Stats{}
+		r.byProc[ev.From] = ps
+	}
+	ps.add(s)
+}
+
+// RecordCombine notes one threshold combine operation.
+func (r *Recorder) RecordCombine() {
+	r.mu.Lock()
+	r.combines++
+	r.mu.Unlock()
+}
+
+// RecordCertVerify notes one certificate verification.
+func (r *Recorder) RecordCertVerify() {
+	r.mu.Lock()
+	r.certVerifies++
+	r.mu.Unlock()
+}
+
+// SetTicks records the run's duration in ticks (δ units).
+func (r *Recorder) SetTicks(t types.Tick) {
+	r.mu.Lock()
+	r.ticks = t
+	r.mu.Unlock()
+}
+
+// Report is an immutable snapshot of a recorder.
+type Report struct {
+	Honest    Stats            // sends by correct processes (the paper's measure)
+	Byzantine Stats            // sends by corrupted processes (informational)
+	ByLayer   map[string]Stats // honest words per protocol layer
+	ByProcess map[types.ProcessID]Stats
+	Combines  int64
+	CertVer   int64
+	Ticks     types.Tick
+}
+
+// Snapshot copies the current counters.
+func (r *Recorder) Snapshot() Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := Report{
+		Honest:    r.honest,
+		Byzantine: r.byzantine,
+		ByLayer:   make(map[string]Stats, len(r.byLayer)),
+		ByProcess: make(map[types.ProcessID]Stats, len(r.byProc)),
+		Combines:  r.combines,
+		CertVer:   r.certVerifies,
+		Ticks:     r.ticks,
+	}
+	for k, v := range r.byLayer {
+		rep.ByLayer[k] = *v
+	}
+	for k, v := range r.byProc {
+		rep.ByProcess[k] = *v
+	}
+	return rep
+}
+
+// Words is shorthand for the paper's headline number: words sent by correct
+// processes.
+func (rep Report) Words() int64 { return rep.Honest.Words }
+
+// LayerTable renders the per-layer breakdown as an aligned text table,
+// sorted by layer path. It is the textual regeneration of Figure 1.
+func (rep Report) LayerTable() string {
+	layers := make([]string, 0, len(rep.ByLayer))
+	for l := range rep.ByLayer {
+		layers = append(layers, l)
+	}
+	sort.Strings(layers)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %10s %10s %10s\n", "layer", "msgs", "words", "sigs")
+	for _, l := range layers {
+		s := rep.ByLayer[l]
+		fmt.Fprintf(&b, "%-28s %10d %10d %10d\n", l, s.Messages, s.Words, s.Signatures)
+	}
+	fmt.Fprintf(&b, "%-28s %10d %10d %10d\n", "TOTAL (correct senders)",
+		rep.Honest.Messages, rep.Honest.Words, rep.Honest.Signatures)
+	return b.String()
+}
+
+// String summarises the report in one line.
+func (rep Report) String() string {
+	return fmt.Sprintf("words=%d msgs=%d sigs=%d combines=%d ticks=%d",
+		rep.Honest.Words, rep.Honest.Messages, rep.Honest.Signatures, rep.Combines, rep.Ticks)
+}

@@ -1,0 +1,223 @@
+// Package oracle provides online invariant monitors: observers that watch
+// a run's wire traffic (via sim.Config.OnSend) and flag violations of the
+// paper's safety invariants the moment they become observable, rather than
+// only checking final decisions. They serve as an independent test oracle
+// under every adversary:
+//
+//   - at most one finalize-certified value may ever circulate
+//     (Lemma 15's global uniqueness claim);
+//   - an honest process never signs two different vote or decide shares
+//     in the same phase (the local discipline Lemma 15's proof counts on);
+//   - an honest process never emits an invalid certificate.
+//
+// The monitor understands the weak BA payloads but is independent of the
+// machine implementation, so a bug there cannot blind it.
+package oracle
+
+import (
+	"fmt"
+	"sync"
+
+	"adaptiveba/internal/core/strongba"
+	"adaptiveba/internal/core/wba"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+// WBA monitors one weak BA instance.
+type WBA struct {
+	mu     sync.Mutex
+	tag    string
+	phases int
+	scheme *threshold.Scheme
+
+	finalizedValue types.Value // first certified finalize value seen
+	votes          map[sigKey]types.Value
+	decides        map[sigKey]types.Value
+	violations     []string
+}
+
+type sigKey struct {
+	from  types.ProcessID
+	phase int
+}
+
+// NewWBA builds a monitor for the weak BA instance with the given tag.
+// quorumOverride mirrors wba.Config.QuorumOverride (0 = the paper's).
+func NewWBA(params types.Params, crypto *proto.Crypto, tag string, quorumOverride int) *WBA {
+	quorum := params.Quorum()
+	if quorumOverride > 0 {
+		quorum = quorumOverride
+	}
+	return &WBA{
+		tag:     tag,
+		phases:  params.T + 1,
+		scheme:  crypto.Threshold(quorum),
+		votes:   make(map[sigKey]types.Value),
+		decides: make(map[sigKey]types.Value),
+	}
+}
+
+// OnSend is the sim.Config.OnSend hook.
+func (o *WBA) OnSend(_ types.Tick, m sim.Message, honest bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch p := m.Payload.(type) {
+	case wba.Vote:
+		if honest {
+			o.checkOnePerPhase(o.votes, m.From, p.Phase, p.V, "vote")
+		}
+	case wba.Decide:
+		if honest {
+			o.checkOnePerPhase(o.decides, m.From, p.Phase, p.V, "decide share")
+		}
+	case wba.Finalized:
+		o.checkFinalize(p.V, p.Phase, p.Cert, honest, m.From)
+	case wba.Help:
+		o.checkFinalize(p.V, p.ProofPhase, p.Proof, honest, m.From)
+	case wba.FallbackCert:
+		if p.Proof != nil {
+			o.checkFinalize(p.V, p.ProofPhase, p.Proof, honest, m.From)
+		}
+	}
+}
+
+// checkOnePerPhase flags an honest process signing two different values in
+// one phase.
+func (o *WBA) checkOnePerPhase(seen map[sigKey]types.Value, from types.ProcessID, phase int, v types.Value, what string) {
+	k := sigKey{from: from, phase: phase}
+	if prev, ok := seen[k]; ok {
+		if !prev.Equal(v) {
+			o.violate("honest %v signed two %ss in phase %d: %v and %v", from, what, phase, prev, v)
+		}
+		return
+	}
+	seen[k] = v.Clone()
+}
+
+// checkFinalize verifies a circulating finalize certificate and enforces
+// global uniqueness of the certified value.
+func (o *WBA) checkFinalize(v types.Value, phase int, cert *threshold.Cert, honest bool, from types.ProcessID) {
+	if cert == nil || phase < 1 || phase > o.phases ||
+		!o.scheme.Verify(wba.DecideBase(o.tag, phase, v), cert) {
+		if honest {
+			o.violate("honest %v emitted an invalid finalize certificate for %v@%d", from, v, phase)
+		}
+		return // forged garbage from the adversary: uninteresting
+	}
+	if o.finalizedValue == nil {
+		o.finalizedValue = v.Clone()
+		return
+	}
+	if !o.finalizedValue.Equal(v) {
+		o.violate("two finalize-certified values circulate: %v and %v (Lemma 15 violated)",
+			o.finalizedValue, v)
+	}
+}
+
+func (o *WBA) violate(format string, args ...any) {
+	o.violations = append(o.violations, fmt.Sprintf(format, args...))
+}
+
+// Violations returns the flagged invariant breaches.
+func (o *WBA) Violations() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, len(o.violations))
+	copy(out, o.violations)
+	return out
+}
+
+// FinalizedValue returns the unique certified value seen so far (nil if
+// none yet).
+func (o *WBA) FinalizedValue() types.Value {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.finalizedValue.Clone()
+}
+
+// StrongBA monitors one Algorithm 5 instance: at most one n-of-n decide
+// certificate value may circulate, and honest processes sign at most one
+// input share and one decide share.
+type StrongBA struct {
+	mu     sync.Mutex
+	tag    string
+	full   *threshold.Scheme
+	seen   types.Value
+	inputs map[types.ProcessID]types.Value
+	decs   map[types.ProcessID]types.Value
+
+	violations []string
+}
+
+// NewStrongBA builds a monitor for the strong BA instance with the tag.
+func NewStrongBA(params types.Params, crypto *proto.Crypto, tag string) *StrongBA {
+	return &StrongBA{
+		tag:    tag,
+		full:   crypto.Threshold(params.N),
+		inputs: make(map[types.ProcessID]types.Value),
+		decs:   make(map[types.ProcessID]types.Value),
+	}
+}
+
+// OnSend is the sim.Config.OnSend hook.
+func (o *StrongBA) OnSend(_ types.Tick, m sim.Message, honest bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch p := m.Payload.(type) {
+	case strongba.InputShare:
+		if honest {
+			o.checkOne(o.inputs, m.From, p.V, "input share")
+		}
+	case strongba.DecideShare:
+		if honest {
+			o.checkOne(o.decs, m.From, p.V, "decide share")
+		}
+	case strongba.DecideMsg:
+		o.checkDecide(p.V, p.Cert, honest, m.From)
+	case strongba.Fallback:
+		if p.Proof != nil {
+			o.checkDecide(p.V, p.Proof, honest, m.From)
+		}
+	}
+}
+
+func (o *StrongBA) checkOne(seen map[types.ProcessID]types.Value, from types.ProcessID, v types.Value, what string) {
+	if prev, ok := seen[from]; ok {
+		if !prev.Equal(v) {
+			o.violations = append(o.violations,
+				fmt.Sprintf("honest %v signed two %ss: %v and %v", from, what, prev, v))
+		}
+		return
+	}
+	seen[from] = v.Clone()
+}
+
+func (o *StrongBA) checkDecide(v types.Value, cert *threshold.Cert, honest bool, from types.ProcessID) {
+	if cert == nil || !o.full.Verify(strongba.DecideBaseFor(o.tag, v), cert) {
+		if honest {
+			o.violations = append(o.violations,
+				fmt.Sprintf("honest %v emitted an invalid decide certificate for %v", from, v))
+		}
+		return
+	}
+	if o.seen == nil {
+		o.seen = v.Clone()
+		return
+	}
+	if !o.seen.Equal(v) {
+		o.violations = append(o.violations,
+			fmt.Sprintf("two decide-certified values circulate: %v and %v", o.seen, v))
+	}
+}
+
+// Violations returns the flagged invariant breaches.
+func (o *StrongBA) Violations() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, len(o.violations))
+	copy(out, o.violations)
+	return out
+}

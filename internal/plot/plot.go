@@ -1,0 +1,174 @@
+// Package plot renders simple ASCII line charts for the experiment CLI:
+// words-vs-f curves and n-scaling plots readable straight from the
+// terminal, with multiple labeled series, log-scale support (the adaptive
+// vs quadratic comparisons span orders of magnitude), and axis ticks.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Config controls rendering.
+type Config struct {
+	// Title is printed above the chart.
+	Title string
+	// Width and Height are the plot area in characters (defaults 64×16).
+	Width, Height int
+	// LogY switches the y axis to log₁₀ (zero/negative values clamp to
+	// the smallest positive sample).
+	LogY bool
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+}
+
+// markers cycles per series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart.
+func Render(cfg Config, series ...Series) string {
+	width, height := cfg.Width, cfg.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	minPosY := math.Inf(1)
+	var any bool
+	for _, s := range series {
+		for _, p := range s.Points {
+			any = true
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			if p.Y > 0 {
+				minPosY = math.Min(minPosY, p.Y)
+			}
+		}
+	}
+	if !any {
+		return "(no data)\n"
+	}
+	ty := func(y float64) float64 { return y }
+	if cfg.LogY {
+		if math.IsInf(minPosY, 1) {
+			minPosY = 1
+		}
+		ty = func(y float64) float64 {
+			if y < minPosY {
+				y = minPosY
+			}
+			return math.Log10(y)
+		}
+		minY, maxY = ty(minY), ty(maxY)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for _, p := range s.Points {
+			col := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((ty(p.Y) - minY) / (maxY - minY) * float64(height-1)))
+			row = height - 1 - row
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	yHi, yLo := maxY, minY
+	hiLabel, loLabel := fmtTick(yHi, cfg.LogY), fmtTick(yLo, cfg.LogY)
+	labelWidth := len(hiLabel)
+	if len(loLabel) > labelWidth {
+		labelWidth = len(loLabel)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch i {
+		case 0:
+			label = pad(hiLabel, labelWidth)
+		case height - 1:
+			label = pad(loLabel, labelWidth)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-10s%s%10s\n", strings.Repeat(" ", labelWidth),
+		trimFloat(minX), strings.Repeat(" ", maxInt(0, width-20)), trimFloat(maxX))
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s", strings.Repeat(" ", labelWidth), cfg.XLabel, yAxisName(cfg))
+		b.WriteByte('\n')
+	}
+	// Legend, stable order.
+	labels := make([]string, 0, len(series))
+	for si, s := range series {
+		labels = append(labels, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Label))
+	}
+	sort.Strings(labels)
+	fmt.Fprintf(&b, "%s  legend: %s\n", strings.Repeat(" ", labelWidth), strings.Join(labels, "   "))
+	return b.String()
+}
+
+func yAxisName(cfg Config) string {
+	if cfg.LogY {
+		return cfg.YLabel + " (log scale)"
+	}
+	return cfg.YLabel
+}
+
+func fmtTick(v float64, logY bool) string {
+	if logY {
+		return trimFloat(math.Pow(10, v))
+	}
+	return trimFloat(v)
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,71 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out := Render(Config{
+		Title: "words vs f", Width: 40, Height: 10,
+		XLabel: "f", YLabel: "words",
+	},
+		Series{Label: "adaptive", Points: []Point{{0, 100}, {5, 200}, {10, 300}}},
+		Series{Label: "baseline", Points: []Point{{0, 1000}, {5, 1000}, {10, 1000}}},
+	)
+	for _, want := range []string{"words vs f", "legend:", "* adaptive", "o baseline", "x: f", "y: words"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The top tick is the max y, the bottom the min.
+	if !strings.Contains(out, "1000 |") {
+		t.Errorf("max tick missing:\n%s", out)
+	}
+	if !strings.Contains(out, "100 |") {
+		t.Errorf("min tick missing:\n%s", out)
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	out := Render(Config{LogY: true, Width: 30, Height: 8},
+		Series{Label: "s", Points: []Point{{0, 10}, {1, 100}, {2, 100000}}},
+	)
+	if !strings.Contains(out, "100000 |") {
+		t.Errorf("log-scale top tick:\n%s", out)
+	}
+	if !strings.Contains(out, "(log scale)") && strings.Contains(out, "y:") {
+		t.Errorf("log scale not labeled:\n%s", out)
+	}
+}
+
+func TestRenderEdgeCases(t *testing.T) {
+	if got := Render(Config{}); got != "(no data)\n" {
+		t.Errorf("empty render: %q", got)
+	}
+	// Single point, flat series, zero y with log scale — must not panic.
+	out := Render(Config{LogY: true},
+		Series{Label: "one", Points: []Point{{1, 0}}},
+	)
+	if len(out) == 0 {
+		t.Error("empty output")
+	}
+	out = Render(Config{},
+		Series{Label: "flat", Points: []Point{{0, 5}, {1, 5}, {2, 5}}},
+	)
+	if !strings.Contains(out, "flat") {
+		t.Error("flat series lost")
+	}
+}
+
+func TestMarkersCycle(t *testing.T) {
+	series := make([]Series, 8)
+	for i := range series {
+		series[i] = Series{Label: string(rune('a' + i)), Points: []Point{{float64(i), float64(i + 1)}}}
+	}
+	out := Render(Config{Width: 20, Height: 6}, series...)
+	// 8 series with 6 markers: wraps around without panicking.
+	if !strings.Contains(out, "legend:") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}

@@ -1,0 +1,61 @@
+package proto
+
+import (
+	"sync"
+
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/types"
+)
+
+// Crypto bundles the artifacts of the trusted setup (Section 2): the run
+// parameters, the PKI signature scheme, and (k, n)-threshold schemes at
+// whatever thresholds the protocols request. One Crypto instance is shared
+// by all machines of a run; it is safe for concurrent use.
+type Crypto struct {
+	Params types.Params
+	Scheme sig.Scheme
+
+	mode       threshold.Mode
+	dealerSeed []byte
+
+	mu  sync.Mutex
+	byK map[int]*threshold.Scheme
+}
+
+// NewCrypto assembles the trusted setup. mode selects the certificate
+// encoding used by all threshold schemes in the run.
+func NewCrypto(params types.Params, scheme sig.Scheme, mode threshold.Mode, dealerSeed []byte) *Crypto {
+	return &Crypto{
+		Params:     params,
+		Scheme:     scheme,
+		mode:       mode,
+		dealerSeed: dealerSeed,
+		byK:        make(map[int]*threshold.Scheme),
+	}
+}
+
+// Threshold returns the (k, n)-threshold scheme for threshold k, creating
+// it on first use. It panics on invalid k — thresholds are derived from
+// validated Params, so an invalid k is a programming error.
+func (c *Crypto) Threshold(k int) *threshold.Scheme {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.byK[k]; ok {
+		return s
+	}
+	s, err := threshold.New(c.Scheme, k, c.mode, c.dealerSeed)
+	if err != nil {
+		panic("proto: invalid threshold requested: " + err.Error())
+	}
+	c.byK[k] = s
+	return s
+}
+
+// Signer returns the signing capability for id.
+func (c *Crypto) Signer(id types.ProcessID) *sig.Signer {
+	return sig.NewSigner(c.Scheme, id)
+}
+
+// Mode returns the certificate encoding used in this run.
+func (c *Crypto) Mode() threshold.Mode { return c.mode }

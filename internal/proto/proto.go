@@ -1,0 +1,145 @@
+// Package proto defines the execution model shared by every protocol in
+// the library and by both runtimes (the deterministic simulator and the
+// TCP transport).
+//
+// A protocol is a Machine: a deterministic state machine driven by ticks.
+// One tick equals the synchrony bound δ. Machines exchange Payloads inside
+// sessions — "/"-separated paths that let a parent protocol host
+// sub-protocols (BB hosts weak BA, weak BA hosts the fallback) without the
+// runtimes knowing anything about the nesting.
+package proto
+
+import (
+	"strings"
+
+	"adaptiveba/internal/types"
+)
+
+// Payload is one protocol message body. Implementations are immutable
+// value-like structs that know their cost in the paper's word model.
+type Payload interface {
+	// Type returns a short stable name, e.g. "bb/help_req".
+	Type() string
+	// Words returns the message's cost: the number of words it carries.
+	// The runtime clamps this to at least 1 (every message costs a word).
+	Words() int
+}
+
+// SigCarrier is an optional Payload extension reporting how many
+// component signatures the message transports (a threshold certificate
+// counts as its signer count, an individual signature as 1). This is the
+// measure behind Dolev–Reischuk's Ω(nt)-signatures lower bound: threshold
+// schemes compact many signatures into one word, so word complexity can
+// be O(n(f+1)) while Θ(nt) signatures still flow through the network.
+type SigCarrier interface {
+	SigCount() int
+}
+
+// Incoming is a received message, addressed to the machine's session.
+type Incoming struct {
+	From    types.ProcessID
+	Session string // path relative to the receiving machine ("" = for me)
+	Payload Payload
+}
+
+// Outgoing is a message to send. Session is relative to the sending
+// machine; parents prefix it while routing upward.
+type Outgoing struct {
+	To      types.ProcessID
+	Session string
+	Payload Payload
+}
+
+// Machine is a deterministic, single-threaded protocol instance for one
+// process. The runtime calls Begin exactly once, then Tick once per tick
+// in increasing tick order. Machines never block and never spawn
+// goroutines; all state transitions happen inside these calls.
+type Machine interface {
+	// Begin starts the machine at tick now and returns its initial sends.
+	Begin(now types.Tick) []Outgoing
+	// Tick delivers the messages that arrived at tick now and returns the
+	// sends the machine performs at this tick.
+	Tick(now types.Tick, inbox []Incoming) []Outgoing
+	// Output returns the machine's decision, if reached. For agreement
+	// protocols the value may legitimately be types.Bottom with ok=true.
+	Output() (types.Value, bool)
+	// Done reports that the machine has decided and has no pending
+	// obligations (it will send nothing more unless new messages arrive
+	// that re-activate it, e.g. a late fallback certificate).
+	Done() bool
+}
+
+// Broadcast expands a payload into one Outgoing per process, including the
+// sender itself (self-delivery is free: runtimes do not count it).
+func Broadcast(params types.Params, session string, p Payload) []Outgoing {
+	outs := make([]Outgoing, params.N)
+	for i := 0; i < params.N; i++ {
+		outs[i] = Outgoing{To: types.ProcessID(i), Session: session, Payload: p}
+	}
+	return outs
+}
+
+// Unicast is a convenience constructor for a single send.
+func Unicast(to types.ProcessID, session string, p Payload) []Outgoing {
+	return []Outgoing{{To: to, Session: session, Payload: p}}
+}
+
+// JoinSession prefixes child-relative session paths with the child's name.
+func JoinSession(name, rest string) string {
+	if rest == "" {
+		return name
+	}
+	return name + "/" + rest
+}
+
+// SplitSession splits a path into its first segment and the remainder.
+func SplitSession(s string) (head, rest string) {
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, ""
+}
+
+// RoundClock maps ticks to 1-based protocol rounds of fixed duration.
+// Round r occupies ticks [Start+(r-1)*Dur, Start+r*Dur). With Dur = 1 this
+// is the paper's lock-step round model; the fallback algorithm runs with
+// Dur = 2 (rounds of 2δ, Lemma 18).
+type RoundClock struct {
+	Start types.Tick
+	Dur   int
+}
+
+// NewRoundClock starts a clock at tick start with the given round duration.
+func NewRoundClock(start types.Tick, dur int) RoundClock {
+	if dur < 1 {
+		dur = 1
+	}
+	return RoundClock{Start: start, Dur: dur}
+}
+
+// RoundAt returns the round that tick now falls in (0 if before Start).
+func (c RoundClock) RoundAt(now types.Tick) types.Round {
+	if now < c.Start {
+		return 0
+	}
+	return types.Round((now-c.Start)/types.Tick(c.Dur)) + 1
+}
+
+// BoundaryAt reports whether now is the first tick of a round, and which.
+// At the boundary of round r (r >= 2), all honest round-(r-1) messages
+// have been delivered, so machines act for round r at its boundary.
+func (c RoundClock) BoundaryAt(now types.Tick) (types.Round, bool) {
+	if now < c.Start {
+		return 0, false
+	}
+	off := now - c.Start
+	if off%types.Tick(c.Dur) != 0 {
+		return 0, false
+	}
+	return types.Round(off/types.Tick(c.Dur)) + 1, true
+}
+
+// StartOf returns the first tick of round r.
+func (c RoundClock) StartOf(r types.Round) types.Tick {
+	return c.Start + types.Tick(int(r-1)*c.Dur)
+}

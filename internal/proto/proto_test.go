@@ -1,0 +1,244 @@
+package proto
+
+import (
+	"testing"
+
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/types"
+)
+
+// fakePayload is a minimal payload for framework tests.
+type fakePayload struct {
+	name  string
+	words int
+}
+
+func (f fakePayload) Type() string { return f.name }
+func (f fakePayload) Words() int   { return f.words }
+
+// echoMachine records calls and echoes every inbox message back to its
+// sender, for exercising Sub routing.
+type echoMachine struct {
+	begun   types.Tick
+	ticks   []types.Tick
+	inboxes [][]Incoming
+	decided bool
+}
+
+func (e *echoMachine) Begin(now types.Tick) []Outgoing {
+	e.begun = now
+	return []Outgoing{{To: 1, Payload: fakePayload{name: "hello", words: 1}}}
+}
+
+func (e *echoMachine) Tick(now types.Tick, inbox []Incoming) []Outgoing {
+	e.ticks = append(e.ticks, now)
+	e.inboxes = append(e.inboxes, inbox)
+	var outs []Outgoing
+	for _, in := range inbox {
+		outs = append(outs, Outgoing{To: in.From, Session: in.Session, Payload: in.Payload})
+	}
+	return outs
+}
+
+func (e *echoMachine) Output() (types.Value, bool) { return nil, e.decided }
+func (e *echoMachine) Done() bool                  { return e.decided }
+
+func TestSessionHelpers(t *testing.T) {
+	if got := JoinSession("bb", ""); got != "bb" {
+		t.Errorf("JoinSession = %q", got)
+	}
+	if got := JoinSession("bb", "wba/fallback"); got != "bb/wba/fallback" {
+		t.Errorf("JoinSession = %q", got)
+	}
+	head, rest := SplitSession("bb/wba/fallback")
+	if head != "bb" || rest != "wba/fallback" {
+		t.Errorf("SplitSession = %q, %q", head, rest)
+	}
+	head, rest = SplitSession("leaf")
+	if head != "leaf" || rest != "" {
+		t.Errorf("SplitSession leaf = %q, %q", head, rest)
+	}
+}
+
+func TestBroadcastIncludesSelf(t *testing.T) {
+	p, _ := types.NewParams(5)
+	outs := Broadcast(p, "s", fakePayload{name: "x", words: 2})
+	if len(outs) != 5 {
+		t.Fatalf("broadcast to %d", len(outs))
+	}
+	seen := map[types.ProcessID]bool{}
+	for _, o := range outs {
+		seen[o.To] = true
+		if o.Session != "s" {
+			t.Errorf("session = %q", o.Session)
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("recipients: %v", seen)
+	}
+}
+
+func TestUnicast(t *testing.T) {
+	outs := Unicast(3, "", fakePayload{name: "y", words: 1})
+	if len(outs) != 1 || outs[0].To != 3 {
+		t.Fatalf("got %+v", outs)
+	}
+}
+
+func TestRoundClockLockStep(t *testing.T) {
+	c := NewRoundClock(0, 1)
+	for tick, want := range map[types.Tick]types.Round{0: 1, 1: 2, 5: 6} {
+		if got := c.RoundAt(tick); got != want {
+			t.Errorf("RoundAt(%d) = %d, want %d", tick, got, want)
+		}
+		if r, ok := c.BoundaryAt(tick); !ok || r != want {
+			t.Errorf("BoundaryAt(%d) = %d,%v", tick, r, ok)
+		}
+	}
+}
+
+func TestRoundClockDoubleDuration(t *testing.T) {
+	c := NewRoundClock(10, 2)
+	if r := c.RoundAt(9); r != 0 {
+		t.Errorf("before start: %d", r)
+	}
+	if _, ok := c.BoundaryAt(9); ok {
+		t.Error("boundary before start")
+	}
+	cases := []struct {
+		tick     types.Tick
+		round    types.Round
+		boundary bool
+	}{
+		{10, 1, true}, {11, 1, false}, {12, 2, true}, {13, 2, false}, {18, 5, true},
+	}
+	for _, tc := range cases {
+		if got := c.RoundAt(tc.tick); got != tc.round {
+			t.Errorf("RoundAt(%d) = %d, want %d", tc.tick, got, tc.round)
+		}
+		_, ok := c.BoundaryAt(tc.tick)
+		if ok != tc.boundary {
+			t.Errorf("BoundaryAt(%d) = %v", tc.tick, ok)
+		}
+	}
+	if got := c.StartOf(3); got != 14 {
+		t.Errorf("StartOf(3) = %d", got)
+	}
+}
+
+func TestRoundClockClampsDuration(t *testing.T) {
+	c := NewRoundClock(0, 0)
+	if c.Dur != 1 {
+		t.Errorf("Dur = %d", c.Dur)
+	}
+}
+
+func TestSubRoutingAndWrapping(t *testing.T) {
+	child := &echoMachine{}
+	sub := NewSub("wba", child)
+
+	inbox := []Incoming{
+		{From: 1, Session: "wba", Payload: fakePayload{name: "a"}},
+		{From: 2, Session: "wba/fallback", Payload: fakePayload{name: "b"}},
+		{From: 3, Session: "other", Payload: fakePayload{name: "c"}},
+		{From: 4, Session: "", Payload: fakePayload{name: "d"}},
+	}
+	mine, rest := sub.Route(inbox)
+	if len(mine) != 2 || len(rest) != 2 {
+		t.Fatalf("route split %d/%d", len(mine), len(rest))
+	}
+	if mine[0].Session != "" || mine[1].Session != "fallback" {
+		t.Errorf("stripped sessions: %q %q", mine[0].Session, mine[1].Session)
+	}
+
+	outs := sub.Begin(5)
+	if child.begun != 5 {
+		t.Errorf("child begun at %d", child.begun)
+	}
+	if len(outs) != 1 || outs[0].Session != "wba" {
+		t.Fatalf("begin outs: %+v", outs)
+	}
+	outs = sub.Tick(6, mine)
+	if len(outs) != 2 {
+		t.Fatalf("tick outs: %+v", outs)
+	}
+	if outs[0].Session != "wba" || outs[1].Session != "wba/fallback" {
+		t.Errorf("wrapped sessions: %q %q", outs[0].Session, outs[1].Session)
+	}
+}
+
+func TestSubBuffersBeforeBegin(t *testing.T) {
+	child := &echoMachine{}
+	sub := NewSub("fb", child)
+
+	early := []Incoming{{From: 1, Session: "fb", Payload: fakePayload{name: "early"}}}
+	mine, _ := sub.Route(early)
+	if outs := sub.Tick(1, mine); outs != nil {
+		t.Fatalf("unstarted child produced sends: %+v", outs)
+	}
+	if sub.Done() {
+		t.Error("unstarted child reported done")
+	}
+	sub.Begin(3)
+	outs := sub.Tick(4, nil)
+	if len(outs) != 1 {
+		t.Fatalf("buffered message not replayed: %+v", outs)
+	}
+	if len(child.inboxes) != 1 || len(child.inboxes[0]) != 1 {
+		t.Fatalf("child saw %+v", child.inboxes)
+	}
+	if child.inboxes[0][0].Payload.Type() != "early" {
+		t.Error("wrong replayed payload")
+	}
+}
+
+func TestSubBeginIdempotent(t *testing.T) {
+	child := &echoMachine{}
+	sub := NewSub("x", child)
+	if outs := sub.Begin(0); len(outs) != 1 {
+		t.Fatal("first begin")
+	}
+	if outs := sub.Begin(1); outs != nil {
+		t.Fatal("second begin produced sends")
+	}
+	if child.begun != 0 {
+		t.Error("child restarted")
+	}
+}
+
+func TestCryptoThresholdCaching(t *testing.T) {
+	params, _ := types.NewParams(7)
+	ring, _ := sig.NewHMACRing(7, []byte("s"))
+	c := NewCrypto(params, ring, threshold.ModeCompact, []byte("d"))
+	a := c.Threshold(4)
+	b := c.Threshold(4)
+	if a != b {
+		t.Error("threshold scheme not cached")
+	}
+	if a.K() != 4 || a.N() != 7 {
+		t.Errorf("scheme params: k=%d n=%d", a.K(), a.N())
+	}
+	if c.Threshold(5) == a {
+		t.Error("different k returned same scheme")
+	}
+	if c.Mode() != threshold.ModeCompact {
+		t.Errorf("mode = %v", c.Mode())
+	}
+	s := c.Signer(3)
+	if s.ID() != 3 {
+		t.Errorf("signer id = %v", s.ID())
+	}
+}
+
+func TestCryptoThresholdPanicsOnInvalidK(t *testing.T) {
+	params, _ := types.NewParams(7)
+	ring, _ := sig.NewHMACRing(7, []byte("s"))
+	c := NewCrypto(params, ring, threshold.ModeAggregate, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for invalid threshold")
+		}
+	}()
+	c.Threshold(0)
+}

@@ -1,0 +1,88 @@
+package proto
+
+import "adaptiveba/internal/types"
+
+// Sub hosts a child machine under a named session. Parents create a Sub,
+// feed it the child-addressed slice of their inbox every tick, and start
+// it whenever the protocol dictates (possibly mid-run, as with the
+// fallback). Messages that arrive before the child starts are buffered and
+// replayed on the first tick after Begin.
+type Sub struct {
+	name    string
+	machine Machine
+	started bool
+	begun   bool
+	buffer  []Incoming
+}
+
+// NewSub wraps machine under the session segment name.
+func NewSub(name string, machine Machine) *Sub {
+	return &Sub{name: name, machine: machine}
+}
+
+// Name returns the session segment.
+func (s *Sub) Name() string { return s.name }
+
+// Started reports whether Begin has been called.
+func (s *Sub) Started() bool { return s.started }
+
+// Machine exposes the wrapped machine (for Output/Done inspection).
+func (s *Sub) Machine() Machine { return s.machine }
+
+// Route splits inbox into messages addressed to this child (with the
+// session prefix stripped) and the rest. Parents with several children
+// call Route once per child on the remainder.
+func (s *Sub) Route(inbox []Incoming) (mine, rest []Incoming) {
+	for _, in := range inbox {
+		head, tail := SplitSession(in.Session)
+		if head == s.name {
+			in.Session = tail
+			mine = append(mine, in)
+		} else {
+			rest = append(rest, in)
+		}
+	}
+	return mine, rest
+}
+
+// Begin starts the child at tick now and returns its wrapped sends. It is
+// idempotent: second and later calls return nil.
+func (s *Sub) Begin(now types.Tick) []Outgoing {
+	if s.started {
+		return nil
+	}
+	s.started = true
+	return s.wrap(s.machine.Begin(now))
+}
+
+// Tick forwards child-addressed messages. Before the child starts, the
+// messages are buffered; the buffered backlog is replayed in the first
+// Tick after Begin.
+func (s *Sub) Tick(now types.Tick, mine []Incoming) []Outgoing {
+	if !s.started {
+		s.buffer = append(s.buffer, mine...)
+		return nil
+	}
+	if len(s.buffer) > 0 {
+		mine = append(s.buffer, mine...)
+		s.buffer = nil
+	}
+	return s.wrap(s.machine.Tick(now, mine))
+}
+
+// Output proxies the child's decision.
+func (s *Sub) Output() (types.Value, bool) {
+	return s.machine.Output()
+}
+
+// Done proxies the child's completion; an unstarted child is not done.
+func (s *Sub) Done() bool {
+	return s.started && s.machine.Done()
+}
+
+func (s *Sub) wrap(outs []Outgoing) []Outgoing {
+	for i := range outs {
+		outs[i].Session = JoinSession(s.name, outs[i].Session)
+	}
+	return outs
+}

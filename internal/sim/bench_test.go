@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/types"
+)
+
+// BenchmarkEngineThroughput measures raw simulator overhead: n machines
+// broadcasting every tick for a fixed horizon.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, n := range []int{11, 41} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			params, err := types.NewParams(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ring, err := sig.NewHMACRing(n, []byte("bench"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			crypto := proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("d"))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Config{
+					Params: params,
+					Crypto: crypto,
+					Factory: func(id types.ProcessID) proto.Machine {
+						return &chatter{params: params, horizon: 20}
+					},
+					MaxTicks: 64,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TimedOut {
+					b.Fatal("timed out")
+				}
+			}
+			b.ReportMetric(float64(20*n*n), "msgs/run")
+		})
+	}
+}
+
+// chatter broadcasts one payload per tick until its horizon.
+type chatter struct {
+	params  types.Params
+	horizon types.Tick
+	now     types.Tick
+}
+
+type ping struct{}
+
+func (ping) Type() string { return "bench/ping" }
+func (ping) Words() int   { return 1 }
+
+func (c *chatter) Begin(now types.Tick) []proto.Outgoing {
+	return proto.Broadcast(c.params, "", ping{})
+}
+
+func (c *chatter) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing {
+	c.now = now
+	if now >= c.horizon {
+		return nil
+	}
+	return proto.Broadcast(c.params, "", ping{})
+}
+
+func (c *chatter) Output() (types.Value, bool) { return nil, c.now >= c.horizon }
+func (c *chatter) Done() bool                  { return c.now >= c.horizon }

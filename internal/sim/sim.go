@@ -1,0 +1,420 @@
+// Package sim is a deterministic, tick-granular simulator of the paper's
+// model (Section 2): a static set Π of n processes, reliable authenticated
+// links, a synchronous network with delay bound δ (= one tick), and an
+// adaptive adversary that corrupts up to t processes.
+//
+// Honest processes are proto.Machines. Corrupted processes are controlled
+// by an Adversary, which observes the traffic addressed to them, sees all
+// honest messages of the current tick before acting (a rushing adversary),
+// and may send arbitrary messages from corrupted identities. The simulator
+// enforces the reliable-link rule: the adversary cannot forge the sender
+// identity of a correct process.
+//
+// Every honest message send is charged to a metrics.Recorder using the
+// paper's word-cost model; self-addressed deliveries are free.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"adaptiveba/internal/metrics"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/types"
+)
+
+// Message is an addressed payload traveling through the simulated network.
+type Message struct {
+	From    types.ProcessID
+	To      types.ProcessID
+	Session string
+	Payload proto.Payload
+}
+
+// Corruption schedules the takeover of one process at a given tick.
+// At = 0 corrupts the process before the run starts.
+type Corruption struct {
+	ID types.ProcessID
+	At types.Tick
+}
+
+// Env is the adversary's view of the trusted setup.
+type Env struct {
+	Params types.Params
+	Crypto *proto.Crypto
+}
+
+// Adversary drives the corrupted processes. Implementations live in
+// internal/adversary; a nil Adversary in the Config means a failure-free
+// run (f = 0).
+type Adversary interface {
+	// Init is called once before the run with the setup artifacts.
+	Init(env Env)
+	// Corruptions returns the corruption schedule. The engine validates it
+	// against Params (at most t distinct processes).
+	Corruptions() []Corruption
+	// Observe delivers the messages addressed to corrupted process `to`
+	// at tick now (the adversary's inbox).
+	Observe(now types.Tick, to types.ProcessID, inbox []proto.Incoming)
+	// Act runs after all honest machines produced their tick-now sends
+	// (rushing adversary: honestTraffic is this tick's honest output).
+	// The returned messages must originate from corrupted identities and
+	// are delivered at now+1, like all other traffic.
+	Act(now types.Tick, honestTraffic []Message) []Message
+	// Quiescent reports that the adversary has no future actions pending;
+	// the engine only halts early when honest machines are done, no
+	// messages are in flight, and the adversary is quiescent.
+	Quiescent(now types.Tick) bool
+}
+
+// Config describes one run.
+type Config struct {
+	Params  types.Params
+	Crypto  *proto.Crypto
+	Factory func(id types.ProcessID) proto.Machine
+
+	Adversary Adversary         // nil for failure-free runs
+	MaxTicks  types.Tick        // hard stop; DefaultMaxTicks if 0
+	Recorder  *metrics.Recorder // optional; a fresh one is created if nil
+	Trace     io.Writer         // optional message trace
+	// SizeOf, if set, reports each payload's encoded byte size for the
+	// recorder's byte counters (the harness wires the wire registry in).
+	SizeOf func(proto.Payload) int
+	// ShuffleSeed, if non-zero, deterministically permutes every inbox
+	// before delivery: within one tick the adversary controls arrival
+	// order, so correct protocols must be insensitive to it. Tests sweep
+	// seeds to catch accidental order dependence.
+	ShuffleSeed int64
+	// OnSend, if set, observes every message (honest and Byzantine) as it
+	// is sent, with the sending tick — structured tracing for tools.
+	OnSend func(now types.Tick, m Message, honest bool)
+}
+
+// DefaultMaxTicks bounds runs whose configuration forgot a limit.
+const DefaultMaxTicks types.Tick = 100_000
+
+// Result is the outcome of a run.
+type Result struct {
+	// Decisions maps every process that stayed honest for the whole run to
+	// its output (present only if it decided).
+	Decisions map[types.ProcessID]types.Value
+	// Honest lists the processes that were never corrupted, ascending.
+	Honest []types.ProcessID
+	// Corrupted lists the corrupted processes, ascending.
+	Corrupted []types.ProcessID
+	// Ticks is the tick at which the run stopped.
+	Ticks types.Tick
+	// TimedOut reports the run hit MaxTicks before quiescing.
+	TimedOut bool
+	// Report is the metrics snapshot.
+	Report metrics.Report
+}
+
+// F returns the number of actually corrupted processes in the run.
+func (r *Result) F() int { return len(r.Corrupted) }
+
+// AllDecided reports whether every process that remained honest decided.
+func (r *Result) AllDecided() bool {
+	for _, id := range r.Honest {
+		if _, ok := r.Decisions[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Agreement reports whether all honest decisions are identical, returning
+// the common value. Vacuously true (with ⊥) when nothing was decided.
+func (r *Result) Agreement() (types.Value, bool) {
+	var v types.Value
+	first := true
+	for _, id := range r.Honest {
+		d, ok := r.Decisions[id]
+		if !ok {
+			continue
+		}
+		if first {
+			v, first = d, false
+			continue
+		}
+		if !d.Equal(v) {
+			return nil, false
+		}
+	}
+	return v, true
+}
+
+// Errors reported by Run.
+var (
+	ErrConfig     = errors.New("sim: invalid configuration")
+	ErrForgery    = errors.New("sim: adversary sent from a non-corrupted identity")
+	ErrCorruption = errors.New("sim: invalid corruption schedule")
+)
+
+// Run executes the configured run to quiescence or MaxTicks.
+func Run(cfg Config) (*Result, error) {
+	if !cfg.Params.Valid() {
+		return nil, fmt.Errorf("%w: bad params %+v", ErrConfig, cfg.Params)
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("%w: nil factory", ErrConfig)
+	}
+	if cfg.Crypto == nil {
+		return nil, fmt.Errorf("%w: nil crypto", ErrConfig)
+	}
+	maxTicks := cfg.MaxTicks
+	if maxTicks <= 0 {
+		maxTicks = DefaultMaxTicks
+	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = metrics.NewRecorder()
+	}
+
+	n := cfg.Params.N
+	corruptAt := make(map[types.ProcessID]types.Tick)
+	if cfg.Adversary != nil {
+		cfg.Adversary.Init(Env{Params: cfg.Params, Crypto: cfg.Crypto})
+		for _, c := range cfg.Adversary.Corruptions() {
+			if err := cfg.Params.CheckProcess(c.ID); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorruption, err)
+			}
+			if at, dup := corruptAt[c.ID]; dup {
+				return nil, fmt.Errorf("%w: %v corrupted twice (ticks %d, %d)", ErrCorruption, c.ID, at, c.At)
+			}
+			if c.At < 0 {
+				return nil, fmt.Errorf("%w: negative tick for %v", ErrCorruption, c.ID)
+			}
+			corruptAt[c.ID] = c.At
+		}
+		if len(corruptAt) > cfg.Params.T {
+			return nil, fmt.Errorf("%w: %d corruptions exceed t=%d", ErrCorruption, len(corruptAt), cfg.Params.T)
+		}
+	}
+
+	e := &engine{
+		cfg:       cfg,
+		rec:       rec,
+		machines:  make([]proto.Machine, n),
+		corrupted: make([]bool, n),
+		corruptAt: corruptAt,
+		inflight:  make(map[types.Tick][]Message),
+	}
+	for i := 0; i < n; i++ {
+		id := types.ProcessID(i)
+		if at, ok := corruptAt[id]; ok && at == 0 {
+			e.corrupted[i] = true
+			continue
+		}
+		e.machines[i] = cfg.Factory(id)
+	}
+
+	return e.run(maxTicks)
+}
+
+type engine struct {
+	cfg       Config
+	rec       *metrics.Recorder
+	machines  []proto.Machine
+	corrupted []bool
+	corruptAt map[types.ProcessID]types.Tick
+	inflight  map[types.Tick][]Message
+}
+
+func (e *engine) run(maxTicks types.Tick) (*Result, error) {
+	n := e.cfg.Params.N
+	var now types.Tick
+	timedOut := true
+
+	for now = 0; now <= maxTicks; now++ {
+		e.applyCorruptions(now)
+
+		delivered := e.inflight[now]
+		delete(e.inflight, now)
+		inboxes := make([][]proto.Incoming, n)
+		for _, m := range delivered {
+			inboxes[m.To] = append(inboxes[m.To], proto.Incoming{
+				From:    m.From,
+				Session: m.Session,
+				Payload: m.Payload,
+			})
+		}
+		if e.cfg.ShuffleSeed != 0 {
+			for i := range inboxes {
+				e.shuffle(now, types.ProcessID(i), inboxes[i])
+			}
+		}
+
+		// Honest machines act in ID order for determinism.
+		var honestTraffic []Message
+		for i := 0; i < n; i++ {
+			if e.corrupted[i] {
+				continue
+			}
+			id := types.ProcessID(i)
+			var outs []proto.Outgoing
+			if now == 0 {
+				outs = e.machines[i].Begin(0)
+			} else {
+				outs = e.machines[i].Tick(now, inboxes[i])
+			}
+			for _, o := range outs {
+				if err := e.cfg.Params.CheckProcess(o.To); err != nil {
+					return nil, fmt.Errorf("sim: %v sent to invalid recipient: %w", id, err)
+				}
+				honestTraffic = append(honestTraffic, Message{
+					From: id, To: o.To, Session: o.Session, Payload: o.Payload,
+				})
+			}
+		}
+
+		// Adversary observes corrupted inboxes, then acts with full
+		// knowledge of this tick's honest traffic (rushing).
+		var advTraffic []Message
+		if e.cfg.Adversary != nil {
+			for i := 0; i < n; i++ {
+				if e.corrupted[i] && len(inboxes[i]) > 0 {
+					e.cfg.Adversary.Observe(now, types.ProcessID(i), inboxes[i])
+				}
+			}
+			advTraffic = e.cfg.Adversary.Act(now, honestTraffic)
+			for _, m := range advTraffic {
+				if err := e.cfg.Params.CheckProcess(m.To); err != nil {
+					return nil, fmt.Errorf("sim: adversary recipient: %w", err)
+				}
+				if err := e.cfg.Params.CheckProcess(m.From); err != nil || !e.corrupted[m.From] {
+					return nil, fmt.Errorf("%w: from %v at tick %d", ErrForgery, m.From, now)
+				}
+			}
+		}
+
+		e.record(honestTraffic, true, now)
+		e.record(advTraffic, false, now)
+		if len(honestTraffic)+len(advTraffic) > 0 {
+			e.inflight[now+1] = append(e.inflight[now+1], honestTraffic...)
+			e.inflight[now+1] = append(e.inflight[now+1], advTraffic...)
+		}
+
+		if e.quiesced(now) {
+			timedOut = false
+			break
+		}
+	}
+
+	res := &Result{
+		Decisions: make(map[types.ProcessID]types.Value),
+		Ticks:     now,
+		TimedOut:  timedOut,
+	}
+	for i := 0; i < n; i++ {
+		id := types.ProcessID(i)
+		if e.corrupted[i] {
+			res.Corrupted = append(res.Corrupted, id)
+			continue
+		}
+		res.Honest = append(res.Honest, id)
+		if v, ok := e.machines[i].Output(); ok {
+			res.Decisions[id] = v
+		}
+	}
+	sort.Slice(res.Honest, func(a, b int) bool { return res.Honest[a] < res.Honest[b] })
+	sort.Slice(res.Corrupted, func(a, b int) bool { return res.Corrupted[a] < res.Corrupted[b] })
+	e.rec.SetTicks(now)
+	res.Report = e.rec.Snapshot()
+	return res, nil
+}
+
+// shuffle deterministically permutes one inbox from (seed, tick, id).
+func (e *engine) shuffle(now types.Tick, id types.ProcessID, inbox []proto.Incoming) {
+	if len(inbox) < 2 {
+		return
+	}
+	rng := rand.New(rand.NewSource(e.cfg.ShuffleSeed ^ int64(now)*2654435761 ^ int64(id)<<17))
+	rng.Shuffle(len(inbox), func(a, b int) {
+		inbox[a], inbox[b] = inbox[b], inbox[a]
+	})
+}
+
+// applyCorruptions hands processes scheduled for tick now to the adversary.
+func (e *engine) applyCorruptions(now types.Tick) {
+	for id, at := range e.corruptAt {
+		if at == now && !e.corrupted[id] {
+			e.corrupted[id] = true
+			e.machines[id] = nil
+		}
+	}
+}
+
+// record charges messages to the recorder. Self-addressed messages are
+// local deliveries, not network traffic, and are skipped.
+func (e *engine) record(msgs []Message, honest bool, now types.Tick) {
+	for _, m := range msgs {
+		if m.From == m.To {
+			continue
+		}
+		words, sigs, size := 1, 0, 0
+		if m.Payload != nil {
+			words = m.Payload.Words()
+			if sc, ok := m.Payload.(proto.SigCarrier); ok {
+				sigs = sc.SigCount()
+			}
+			if e.cfg.SizeOf != nil {
+				size = e.cfg.SizeOf(m.Payload)
+			}
+		}
+		e.rec.RecordSend(metrics.SendEvent{
+			From:   m.From,
+			To:     m.To,
+			Words:  words,
+			Sigs:   sigs,
+			Bytes:  size,
+			Layer:  layerOf(m.Session),
+			Honest: honest,
+		})
+		if e.cfg.OnSend != nil {
+			e.cfg.OnSend(now, m, honest)
+		}
+		if e.cfg.Trace != nil {
+			typ := "?"
+			if m.Payload != nil {
+				typ = m.Payload.Type()
+			}
+			fmt.Fprintf(e.cfg.Trace, "t=%d %v->%v [%s] %s (%dw)\n", now, m.From, m.To, m.Session, typ, words)
+		}
+	}
+}
+
+// layerOf maps a session path to its metrics layer (the full path).
+func layerOf(session string) string {
+	if session == "" {
+		return "(root)"
+	}
+	return session
+}
+
+// quiesced reports whether the run can stop after tick now.
+func (e *engine) quiesced(now types.Tick) bool {
+	if len(e.inflight) > 0 {
+		return false
+	}
+	for id, at := range e.corruptAt {
+		if at > now && !e.corrupted[id] {
+			return false // a future corruption is pending
+		}
+	}
+	for i := range e.machines {
+		if e.corrupted[i] {
+			continue
+		}
+		if !e.machines[i].Done() {
+			return false
+		}
+	}
+	if e.cfg.Adversary != nil && !e.cfg.Adversary.Quiescent(now) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,311 @@
+package smr
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptiveba/internal/adversary"
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+func setup(t *testing.T, n int) (*proto.Crypto, types.Params) {
+	t.Helper()
+	params, err := types.NewParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := sig.NewHMACRing(n, []byte("smr-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("d")), params
+}
+
+func runLog(t *testing.T, n, slots int, adv sim.Adversary, queue func(types.ProcessID) []types.Value) (*sim.Result, map[types.ProcessID]*Machine) {
+	t.Helper()
+	crypto, params := setup(t, n)
+	machines := make(map[types.ProcessID]*Machine)
+	var budget types.Tick
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			m, err := NewMachine(Config{
+				Params: params, Crypto: crypto, ID: id,
+				Tag: "log", Slots: slots, Queue: queue(id),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			machines[id] = m
+			budget = m.MaxTicks()
+			return m
+		},
+		Adversary: adv,
+		MaxTicks:  budget * 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, machines
+}
+
+func cmdQueue(id types.ProcessID) []types.Value {
+	return []types.Value{
+		types.Value(fmt.Sprintf("cmd-%d-a", id)),
+		types.Value(fmt.Sprintf("cmd-%d-b", id)),
+	}
+}
+
+func TestReplicatedLogFailureFree(t *testing.T) {
+	res, machines := runLog(t, 5, 7, nil, cmdQueue)
+	if res.TimedOut || !res.AllDecided() {
+		t.Fatalf("run failed: timedOut=%v", res.TimedOut)
+	}
+	logEnc, ok := res.Agreement()
+	if !ok {
+		t.Fatal("replicas diverged")
+	}
+	entries, err := DecodeLog(logEnc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 7 {
+		t.Fatalf("log length %d", len(entries))
+	}
+	// Slot s is proposed by p_{s mod 5} and commits its queued command.
+	for s, e := range entries {
+		if e.Slot != s || e.Proposer != types.ProcessID(s%5) {
+			t.Errorf("entry %d: %+v", s, e)
+		}
+		if e.Command.IsBottom() {
+			t.Errorf("slot %d skipped in a failure-free run", s)
+		}
+	}
+	// Slot 0 and slot 5 are both p0's: first and second queued command.
+	if !entries[0].Command.Equal(types.Value("cmd-0-a")) || !entries[5].Command.Equal(types.Value("cmd-0-b")) {
+		t.Errorf("p0's commands misordered: %v, %v", entries[0].Command, entries[5].Command)
+	}
+	for _, m := range machines {
+		if got := len(m.Committed()); got != 7 {
+			t.Errorf("Committed() returned %d commands", got)
+		}
+	}
+}
+
+func TestReplicatedLogSkipsCrashedProposers(t *testing.T) {
+	// p1 and p3 crash: their slots commit ⊥ and are skipped; all other
+	// slots commit, and every replica sees the identical log.
+	res, machines := runLog(t, 5, 5, adversary.NewCrash(1, 3), cmdQueue)
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	logEnc, ok := res.Agreement()
+	if !ok {
+		t.Fatal("replicas diverged with crashed proposers")
+	}
+	entries, err := DecodeLog(logEnc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		crashed := e.Proposer == 1 || e.Proposer == 3
+		if crashed && !e.Command.IsBottom() {
+			t.Errorf("slot %d committed %v from a crashed proposer", e.Slot, e.Command)
+		}
+		if !crashed && e.Command.IsBottom() {
+			t.Errorf("slot %d skipped although proposer %v is alive", e.Slot, e.Proposer)
+		}
+	}
+	var committed int
+	for _, m := range machines {
+		committed = len(m.Committed())
+	}
+	if committed != 3 {
+		t.Errorf("committed %d commands, want 3", committed)
+	}
+}
+
+func TestReplicatedLogProposerWithEmptyQueue(t *testing.T) {
+	// p2 has no commands: its slot commits ⊥ gracefully.
+	res, _ := runLog(t, 5, 5, nil, func(id types.ProcessID) []types.Value {
+		if id == 2 {
+			return nil
+		}
+		return cmdQueue(id)
+	})
+	logEnc, ok := res.Agreement()
+	if !ok {
+		t.Fatal("replicas diverged")
+	}
+	entries, err := DecodeLog(logEnc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !entries[2].Command.IsBottom() {
+		t.Errorf("slot 2 committed %v from an empty queue", entries[2].Command)
+	}
+	if entries[0].Command.IsBottom() || entries[1].Command.IsBottom() {
+		t.Error("non-empty proposers skipped")
+	}
+}
+
+func TestPerSlotCostIsLinearFailureFree(t *testing.T) {
+	n, slots := 21, 4
+	res, _ := runLog(t, n, slots, nil, cmdQueue)
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	perSlot := res.Report.Honest.Words / int64(slots)
+	if max := int64(14 * n); perSlot > max {
+		t.Errorf("words per committed slot = %d, want linear (< %d)", perSlot, max)
+	}
+}
+
+func TestLogCodecRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Slot: 0, Proposer: 0, Command: types.Value("a")},
+		{Slot: 1, Proposer: 1, Command: types.Bottom},
+		{Slot: 2, Proposer: 2, Command: types.Value("c")},
+	}
+	enc := EncodeLog(entries)
+	got, err := DecodeLog(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !got[0].Command.Equal(types.Value("a")) || !got[1].Command.IsBottom() {
+		t.Errorf("round trip: %+v", got)
+	}
+	if _, err := DecodeLog(types.Value("garbage")); err == nil {
+		t.Error("garbage decoded")
+	}
+	if _, err := DecodeLog(append(enc.Clone(), 1)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	crypto, params := setup(t, 5)
+	if _, err := NewMachine(Config{Params: params, Crypto: crypto, ID: 0, Slots: 0}); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if _, err := NewMachine(Config{Params: params, Crypto: crypto, ID: 99, Slots: 1}); err == nil {
+		t.Error("bad id accepted")
+	}
+	m, err := NewMachine(Config{Params: params, Crypto: crypto, ID: 0, Slots: 2, Tag: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SlotTicks() <= 0 || m.MaxTicks() <= m.SlotTicks() {
+		t.Errorf("timing: slot=%d max=%d", m.SlotTicks(), m.MaxTicks())
+	}
+	if m.Proposer(7) != types.ProcessID(2) {
+		t.Errorf("Proposer(7) = %v", m.Proposer(7))
+	}
+}
+
+func TestPipelinedSlotsMatchSequential(t *testing.T) {
+	// Pipelining slots (stride ≪ slot duration) must produce the exact
+	// same committed log, much faster.
+	crypto, params := setup(t, 5)
+	runWith := func(stride types.Tick) (types.Value, types.Tick) {
+		machines := make(map[types.ProcessID]*Machine)
+		var budget types.Tick
+		res, err := sim.Run(sim.Config{
+			Params: params,
+			Crypto: crypto,
+			Factory: func(id types.ProcessID) proto.Machine {
+				m, err := NewMachine(Config{
+					Params: params, Crypto: crypto, ID: id,
+					Tag: fmt.Sprintf("pipe%d", stride), Slots: 6, Queue: cmdQueue(id),
+					Stride: stride,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				machines[id] = m
+				budget = m.MaxTicks()
+				return m
+			},
+			MaxTicks: budget * 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllDecided() {
+			t.Fatalf("stride=%d: not all decided", stride)
+		}
+		logEnc, ok := res.Agreement()
+		if !ok {
+			t.Fatalf("stride=%d: replicas diverged", stride)
+		}
+		return logEnc, res.Ticks
+	}
+
+	seqLog, seqTicks := runWith(0)   // default: sequential
+	pipeLog, pipeTicks := runWith(5) // new slot every 5 ticks
+
+	// Same commands and proposers (slot tags differ only in the session
+	// namespace, not in the content).
+	seqEntries, err := DecodeLog(seqLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeEntries, err := DecodeLog(pipeLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqEntries) != len(pipeEntries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(seqEntries), len(pipeEntries))
+	}
+	for i := range seqEntries {
+		if !seqEntries[i].Command.Equal(pipeEntries[i].Command) {
+			t.Errorf("slot %d: %v vs %v", i, seqEntries[i].Command, pipeEntries[i].Command)
+		}
+	}
+	if pipeTicks*2 >= seqTicks {
+		t.Errorf("pipelining did not speed up: %d vs %d ticks", pipeTicks, seqTicks)
+	}
+}
+
+func TestPipelinedWithCrashes(t *testing.T) {
+	crypto, params := setup(t, 5)
+	var budget types.Tick
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			m, err := NewMachine(Config{
+				Params: params, Crypto: crypto, ID: id,
+				Tag: "pc", Slots: 5, Queue: cmdQueue(id), Stride: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			budget = m.MaxTicks()
+			return m
+		},
+		Adversary: adversary.NewCrash(2),
+		MaxTicks:  budget * 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logEnc, ok := res.Agreement()
+	if !ok {
+		t.Fatal("pipelined replicas diverged under a crash")
+	}
+	entries, err := DecodeLog(logEnc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Proposer == 2 && !e.Command.IsBottom() {
+			t.Errorf("slot %d committed from crashed proposer", e.Slot)
+		}
+	}
+}

@@ -1,0 +1,442 @@
+// Package transport runs proto.Machines as real networked nodes over TCP.
+// It is the second runtime next to the simulator: the same deterministic
+// state machines, driven by a wall-clock tick loop instead of simulated
+// ticks.
+//
+// The synchrony assumption maps onto configuration: one tick lasts
+// TickInterval, and the deployment must guarantee that a message sent
+// during tick k is delivered before tick k+1 is processed (i.e.
+// TickInterval comfortably exceeds the network's worst-case delay δ plus
+// processing time). On localhost the default of 25ms is generous.
+//
+// Topology is a full mesh: every node dials every peer and uses the
+// outbound connection for sending; inbound connections only receive. An
+// authenticated hello frame binds each inbound connection to a process
+// identity (demo-grade: it proves key possession but is not replay-proof
+// across runs; production deployments would use mutually authenticated
+// TLS).
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"adaptiveba/internal/baseline/dolevstrong"
+	"adaptiveba/internal/baseline/echobb"
+	"adaptiveba/internal/core/bb"
+	"adaptiveba/internal/core/bbviaba"
+	"adaptiveba/internal/core/strongba"
+	"adaptiveba/internal/core/wba"
+	"adaptiveba/internal/metrics"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/types"
+	"adaptiveba/internal/wire"
+)
+
+// NewFullRegistry returns a registry with every protocol's payload codecs
+// registered — enough to frame any machine in this repository.
+func NewFullRegistry() *wire.Registry {
+	reg := wire.NewRegistry()
+	bb.RegisterWire(reg)
+	bbviaba.RegisterWire(reg)
+	wba.RegisterWire(reg)
+	strongba.RegisterWire(reg)
+	dolevstrong.RegisterWire(reg)
+	echobb.RegisterWire(reg)
+	return reg
+}
+
+// Frame kinds on the stream.
+const (
+	frameHello byte = 1
+	frameReady byte = 2
+	frameMsg   byte = 3
+)
+
+// maxFrame bounds a single frame read.
+const maxFrame = 4 << 20
+
+// Errors returned by the node.
+var (
+	ErrConfig  = errors.New("transport: invalid configuration")
+	ErrNoPeers = errors.New("transport: could not connect to all peers")
+	// ErrCrashed reports a CrashAfter fault injection firing.
+	ErrCrashed = errors.New("transport: node crashed by fault injection")
+)
+
+// Config describes one node.
+type Config struct {
+	Params types.Params
+	Crypto *proto.Crypto
+	ID     types.ProcessID
+	// Addrs[i] is process i's listen address (host:port).
+	Addrs []string
+	// Registry frames payloads; NewFullRegistry() covers all protocols.
+	Registry *wire.Registry
+	// TickInterval is the duration of one tick (δ). Default 25ms.
+	TickInterval time.Duration
+	// DialTimeout bounds the whole connection setup. Default 10s.
+	DialTimeout time.Duration
+	// ExtraTicks keeps the node alive after its machine is done, so that
+	// slower peers can still be served. Default 10.
+	ExtraTicks int
+	// Quorum is the number of peers (including self) that must be
+	// connected and ready before the run starts; the rest are treated as
+	// crashed. Default: all N (no tolerated absences at startup).
+	Quorum int
+	// CrashAfter, if positive, fail-stops the node after that many ticks:
+	// it closes every connection and returns ErrCrashed — fault injection
+	// for real-network runs.
+	CrashAfter types.Tick
+	// Recorder, if set, accounts for sent messages.
+	Recorder *metrics.Recorder
+	// Logf, if set, receives debug lines.
+	Logf func(format string, args ...any)
+}
+
+// Node runs one machine over TCP.
+type Node struct {
+	cfg     Config
+	machine proto.Machine
+
+	mu      sync.Mutex
+	inbox   []proto.Incoming
+	readyCh chan types.ProcessID
+
+	listener net.Listener
+	outbound []net.Conn
+}
+
+// NewNode validates the configuration and builds a node.
+func NewNode(cfg Config, machine proto.Machine) (*Node, error) {
+	if !cfg.Params.Valid() || len(cfg.Addrs) != cfg.Params.N {
+		return nil, fmt.Errorf("%w: need one address per process", ErrConfig)
+	}
+	if err := cfg.Params.CheckProcess(cfg.ID); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if cfg.Registry == nil || cfg.Crypto == nil || machine == nil {
+		return nil, fmt.Errorf("%w: registry, crypto and machine are required", ErrConfig)
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = 25 * time.Millisecond
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.ExtraTicks <= 0 {
+		cfg.ExtraTicks = 10
+	}
+	if cfg.Quorum <= 0 || cfg.Quorum > cfg.Params.N {
+		cfg.Quorum = cfg.Params.N
+	}
+	return &Node{
+		cfg:     cfg,
+		machine: machine,
+		readyCh: make(chan types.ProcessID, cfg.Params.N*2),
+	}, nil
+}
+
+// helloBase is the byte string the hello frame signs.
+func helloBase(id types.ProcessID) []byte {
+	w := wire.NewWriter()
+	w.PutString("transport/hello")
+	w.PutProcess(id)
+	return w.Bytes()
+}
+
+// Run connects to the mesh, synchronizes the start, drives the tick loop,
+// and returns the machine's decision.
+func (n *Node) Run(ctx context.Context) (types.Value, error) {
+	ln, err := net.Listen("tcp", n.cfg.Addrs[n.cfg.ID])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	n.listener = ln
+	defer ln.Close()
+	defer n.closeOutbound()
+
+	acceptCtx, stopAccept := context.WithCancel(ctx)
+	defer stopAccept()
+	go n.acceptLoop(acceptCtx, ln)
+
+	if err := n.connectAll(ctx); err != nil {
+		return nil, err
+	}
+	if err := n.barrier(ctx); err != nil {
+		return nil, err
+	}
+	return n.tickLoop(ctx)
+}
+
+// acceptLoop receives inbound connections and spawns readers.
+func (n *Node) acceptLoop(ctx context.Context, ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go n.readLoop(ctx, conn)
+	}
+}
+
+// readLoop authenticates one inbound connection and ingests its frames.
+func (n *Node) readLoop(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	from := types.NilProcess
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		kind, body, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case frameHello:
+			r := wire.NewReader(body)
+			id := r.Process()
+			s := r.Sig()
+			if r.Close() != nil || n.cfg.Params.CheckProcess(id) != nil {
+				return
+			}
+			if !n.cfg.Crypto.Scheme.Verify(id, helloBase(id), s) {
+				n.logf("rejecting hello claiming %v", id)
+				return
+			}
+			from = id
+		case frameReady:
+			if from == types.NilProcess {
+				return
+			}
+			select {
+			case n.readyCh <- from:
+			default:
+			}
+		case frameMsg:
+			if from == types.NilProcess {
+				return // unauthenticated senders are dropped
+			}
+			r := wire.NewReader(body)
+			session := r.String()
+			payloadFrame := r.Bytes()
+			if r.Close() != nil {
+				return
+			}
+			payload, err := n.cfg.Registry.DecodePayload(payloadFrame)
+			if err != nil {
+				n.logf("bad payload from %v: %v", from, err)
+				continue
+			}
+			n.mu.Lock()
+			n.inbox = append(n.inbox, proto.Incoming{From: from, Session: session, Payload: payload})
+			n.mu.Unlock()
+		default:
+			return
+		}
+	}
+}
+
+// connectAll dials every peer (including a loopback to itself for
+// uniform self-delivery) in parallel and sends the hello frame. Peers
+// that stay unreachable until the deadline are treated as crashed; at
+// least Quorum connections (including self) are required.
+func (n *Node) connectAll(ctx context.Context) error {
+	deadline := time.Now().Add(n.cfg.DialTimeout)
+	n.outbound = make([]net.Conn, n.cfg.Params.N)
+	s, err := n.cfg.Crypto.Signer(n.cfg.ID).Sign(helloBase(n.cfg.ID))
+	if err != nil {
+		return fmt.Errorf("transport: sign hello: %w", err)
+	}
+	hello := wire.NewWriter()
+	hello.PutProcess(n.cfg.ID)
+	hello.PutSig(s)
+
+	var wg sync.WaitGroup
+	conns := make([]net.Conn, n.cfg.Params.N)
+	for i := 0; i < n.cfg.Params.N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				conn, err := net.DialTimeout("tcp", n.cfg.Addrs[i], time.Second)
+				if err == nil {
+					conns[i] = conn
+					return
+				}
+				if time.Now().After(deadline) {
+					return // treated as crashed
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	connected := 0
+	for i, conn := range conns {
+		if conn == nil {
+			continue
+		}
+		if err := writeFrame(conn, frameHello, hello.Bytes()); err != nil {
+			conn.Close()
+			continue
+		}
+		n.outbound[i] = conn
+		connected++
+	}
+	if connected < n.cfg.Quorum {
+		return fmt.Errorf("%w: connected to %d/%d, need %d", ErrNoPeers, connected, n.cfg.Params.N, n.cfg.Quorum)
+	}
+	return nil
+}
+
+// barrier announces readiness and waits for Quorum peers (including
+// itself) to do the same, so that all live nodes start tick 0 within a
+// fraction of the tick interval.
+func (n *Node) barrier(ctx context.Context) error {
+	for i := range n.outbound {
+		if n.outbound[i] == nil {
+			continue
+		}
+		if err := writeFrame(n.outbound[i], frameReady, nil); err != nil {
+			return fmt.Errorf("transport: ready to %d: %w", i, err)
+		}
+	}
+	seen := make(map[types.ProcessID]bool)
+	timeout := time.After(n.cfg.DialTimeout)
+	for len(seen) < n.cfg.Quorum {
+		select {
+		case id := <-n.readyCh:
+			seen[id] = true
+		case <-timeout:
+			return fmt.Errorf("%w: %d/%d ready", ErrNoPeers, len(seen), n.cfg.Quorum)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// tickLoop drives the machine until it is done (plus ExtraTicks) or the
+// context ends.
+func (n *Node) tickLoop(ctx context.Context) (types.Value, error) {
+	ticker := time.NewTicker(n.cfg.TickInterval)
+	defer ticker.Stop()
+
+	var now types.Tick
+	extra := 0
+	outs := n.machine.Begin(0)
+	n.send(outs)
+	for {
+		select {
+		case <-ctx.Done():
+			v, _ := n.machine.Output()
+			return v, ctx.Err()
+		case <-ticker.C:
+		}
+		now++
+		if n.cfg.CrashAfter > 0 && now >= n.cfg.CrashAfter {
+			n.closeOutbound()
+			return nil, ErrCrashed
+		}
+		n.mu.Lock()
+		inbox := n.inbox
+		n.inbox = nil
+		n.mu.Unlock()
+		n.send(n.machine.Tick(now, inbox))
+		if n.machine.Done() {
+			extra++
+			if extra >= n.cfg.ExtraTicks {
+				v, _ := n.machine.Output()
+				return v, nil
+			}
+		}
+	}
+}
+
+// send frames and transmits outgoing messages.
+func (n *Node) send(outs []proto.Outgoing) {
+	for _, o := range outs {
+		if n.cfg.Params.CheckProcess(o.To) != nil {
+			continue
+		}
+		payloadFrame, err := n.cfg.Registry.EncodePayload(o.Payload)
+		if err != nil {
+			n.logf("encode %s: %v", o.Payload.Type(), err)
+			continue
+		}
+		if n.outbound[o.To] == nil {
+			continue // crashed peer
+		}
+		w := wire.NewWriter()
+		w.PutString(o.Session)
+		w.PutBytes(payloadFrame)
+		if err := writeFrame(n.outbound[o.To], frameMsg, w.Bytes()); err != nil {
+			n.logf("send to %v: %v", o.To, err)
+			continue
+		}
+		if n.cfg.Recorder != nil && o.To != n.cfg.ID {
+			n.cfg.Recorder.RecordSend(metrics.SendEvent{
+				From:   n.cfg.ID,
+				To:     o.To,
+				Words:  o.Payload.Words(),
+				Bytes:  len(w.Bytes()) + 5,
+				Layer:  o.Session,
+				Honest: true,
+			})
+		}
+	}
+}
+
+func (n *Node) closeOutbound() {
+	for _, c := range n.outbound {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf("node %v: "+format, append([]any{n.cfg.ID}, args...)...)
+	}
+}
+
+// writeFrame emits [len u32][kind][body].
+func writeFrame(conn net.Conn, kind byte, body []byte) error {
+	buf := make([]byte, 5+len(body))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)+1))
+	buf[4] = kind
+	copy(buf[5:], body)
+	_, err := conn.Write(buf)
+	return err
+}
+
+// readFrame reads one frame.
+func readFrame(conn net.Conn) (byte, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size == 0 || size > maxFrame {
+		return 0, nil, fmt.Errorf("transport: bad frame size %d", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}

@@ -1,0 +1,323 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptiveba/internal/core/bb"
+	"adaptiveba/internal/core/strongba"
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/kv"
+	"adaptiveba/internal/metrics"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/smr"
+	"adaptiveba/internal/types"
+)
+
+// freeAddrs reserves n distinct localhost ports and releases them so the
+// nodes can bind.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+func setup(t *testing.T, n int) (*proto.Crypto, types.Params) {
+	t.Helper()
+	params, err := types.NewParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := sig.NewHMACRing(n, []byte("tcp-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("d")), params
+}
+
+// runCluster starts one node per process and waits for all decisions.
+func runCluster(t *testing.T, crypto *proto.Crypto, params types.Params, addrs []string, factory func(id types.ProcessID) proto.Machine) map[types.ProcessID]types.Value {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		decisions = make(map[types.ProcessID]types.Value)
+		wg        sync.WaitGroup
+		firstErr  error
+	)
+	for i := 0; i < params.N; i++ {
+		id := types.ProcessID(i)
+		node, err := NewNode(Config{
+			Params:       params,
+			Crypto:       crypto,
+			ID:           id,
+			Addrs:        addrs,
+			Registry:     NewFullRegistry(),
+			TickInterval: 10 * time.Millisecond,
+		}, factory(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := node.Run(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("node %v: %w", id, err)
+				return
+			}
+			decisions[id] = v
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	return decisions
+}
+
+func TestStrongBAOverTCP(t *testing.T) {
+	crypto, params := setup(t, 5)
+	addrs := freeAddrs(t, 5)
+	decisions := runCluster(t, crypto, params, addrs, func(id types.ProcessID) proto.Machine {
+		m, err := strongba.NewMachine(strongba.Config{
+			Params: params, Crypto: crypto, ID: id,
+			Input: types.One, Tag: "tcp",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	})
+	if len(decisions) != 5 {
+		t.Fatalf("got %d decisions", len(decisions))
+	}
+	for id, v := range decisions {
+		if !v.Equal(types.One) {
+			t.Errorf("node %v decided %v", id, v)
+		}
+	}
+}
+
+func TestBBOverTCP(t *testing.T) {
+	crypto, params := setup(t, 5)
+	addrs := freeAddrs(t, 5)
+	decisions := runCluster(t, crypto, params, addrs, func(id types.ProcessID) proto.Machine {
+		return bb.NewMachine(bb.Config{
+			Params: params, Crypto: crypto, ID: id,
+			Sender: 0, Input: types.Value("over-tcp"), Tag: "tcp",
+		})
+	})
+	for id, v := range decisions {
+		if !v.Equal(types.Value("over-tcp")) {
+			t.Errorf("node %v decided %v", id, v)
+		}
+	}
+}
+
+func TestRecorderCountsBytes(t *testing.T) {
+	crypto, params := setup(t, 3)
+	addrs := freeAddrs(t, 3)
+	recs := make([]*metrics.Recorder, 3)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		id := types.ProcessID(i)
+		recs[i] = metrics.NewRecorder()
+		m, err := strongba.NewMachine(strongba.Config{
+			Params: params, Crypto: crypto, ID: id, Input: types.Zero, Tag: "rec",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := NewNode(Config{
+			Params: params, Crypto: crypto, ID: id, Addrs: addrs,
+			Registry:     NewFullRegistry(),
+			TickInterval: 10 * time.Millisecond,
+			Recorder:     recs[i],
+		}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := node.Run(ctx); err != nil {
+				t.Errorf("node %v: %v", id, err)
+			}
+		}()
+	}
+	wg.Wait()
+	var totalBytes, totalWords int64
+	for _, r := range recs {
+		s := r.Snapshot()
+		totalBytes += s.Honest.Bytes
+		totalWords += s.Honest.Words
+	}
+	if totalBytes == 0 || totalWords == 0 {
+		t.Errorf("recorder saw bytes=%d words=%d", totalBytes, totalWords)
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	crypto, params := setup(t, 3)
+	m, err := strongba.NewMachine(strongba.Config{Params: params, Crypto: crypto, ID: 0, Input: types.One, Tag: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNode(Config{Params: params, Crypto: crypto, ID: 0, Addrs: []string{"a"}, Registry: NewFullRegistry()}, m); err == nil {
+		t.Error("wrong addr count accepted")
+	}
+	if _, err := NewNode(Config{Params: params, Crypto: crypto, ID: 9, Addrs: []string{"a", "b", "c"}, Registry: NewFullRegistry()}, m); err == nil {
+		t.Error("bad id accepted")
+	}
+	if _, err := NewNode(Config{Params: params, Crypto: crypto, ID: 0, Addrs: []string{"a", "b", "c"}}, m); err == nil {
+		t.Error("nil registry accepted")
+	}
+}
+
+func TestFullRegistryCoversAllProtocols(t *testing.T) {
+	reg := NewFullRegistry()
+	for _, p := range []proto.Payload{
+		bb.HelpReq{Phase: 1},
+		strongba.Fallback{},
+	} {
+		if _, err := reg.EncodePayload(p); err != nil {
+			t.Errorf("%s not registered: %v", p.Type(), err)
+		}
+	}
+}
+
+// TestCrashInjectionOverTCP fail-stops one node mid-run; the survivors
+// must still decide via the fallback path — fault tolerance demonstrated
+// on the real network stack, not just the simulator.
+func TestCrashInjectionOverTCP(t *testing.T) {
+	crypto, params := setup(t, 5)
+	addrs := freeAddrs(t, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		decisions = make(map[types.ProcessID]types.Value)
+		crashed   int
+		wg        sync.WaitGroup
+	)
+	for i := 0; i < 5; i++ {
+		id := types.ProcessID(i)
+		m, err := strongba.NewMachine(strongba.Config{
+			Params: params, Crypto: crypto, ID: id, Input: types.One, Tag: "ci",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Params: params, Crypto: crypto, ID: id, Addrs: addrs,
+			Registry:     NewFullRegistry(),
+			TickInterval: 10 * time.Millisecond,
+		}
+		if id == 4 {
+			cfg.CrashAfter = 2 // dies before the fast path can finish
+		}
+		node, err := NewNode(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := node.Run(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if errors.Is(err, ErrCrashed) {
+				crashed++
+				return
+			}
+			if err != nil {
+				t.Errorf("node %v: %v", id, err)
+				return
+			}
+			decisions[id] = v
+		}()
+	}
+	wg.Wait()
+	if crashed != 1 {
+		t.Fatalf("crashed = %d, want 1", crashed)
+	}
+	if len(decisions) != 4 {
+		t.Fatalf("decisions = %d, want 4 survivors", len(decisions))
+	}
+	for id, v := range decisions {
+		if !v.Equal(types.One) {
+			t.Errorf("node %v decided %v, want 1", id, v)
+		}
+	}
+}
+
+// TestReplicatedLogOverTCP runs the full application stack — KV commands
+// through the smr log over adaptive BB — on real TCP sockets.
+func TestReplicatedLogOverTCP(t *testing.T) {
+	crypto, params := setup(t, 3)
+	addrs := freeAddrs(t, 3)
+	decisions := runCluster(t, crypto, params, addrs, func(id types.ProcessID) proto.Machine {
+		m, err := smr.NewMachine(smr.Config{
+			Params: params, Crypto: crypto, ID: id, Tag: "tcp-log", Slots: 3,
+			Queue: []types.Value{types.Value(fmt.Sprintf("SET k%d %d", id, id))},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	})
+	if len(decisions) != 3 {
+		t.Fatalf("got %d decisions", len(decisions))
+	}
+	var wantLog types.Value
+	for id, enc := range decisions {
+		if wantLog == nil {
+			wantLog = enc
+			entries, err := smr.DecodeLog(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != 3 {
+				t.Fatalf("log length %d", len(entries))
+			}
+			store, rejected := kv.Replay(entries)
+			if len(rejected) != 0 {
+				t.Fatalf("rejected commands: %v", rejected)
+			}
+			if v, ok := store.Get("k1"); !ok || v != "1" {
+				t.Errorf("k1 = %q, %v", v, ok)
+			}
+			continue
+		}
+		if !enc.Equal(wantLog) {
+			t.Errorf("node %v log diverged", id)
+		}
+	}
+}

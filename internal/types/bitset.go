@@ -1,0 +1,138 @@
+package types
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// BitSet is a fixed-capacity set of ProcessIDs, used to record the signer
+// sets of threshold certificates compactly and deterministically.
+type BitSet struct {
+	n     int
+	words []uint64
+}
+
+// NewBitSet returns an empty set with capacity for IDs in [0, n).
+func NewBitSet(n int) *BitSet {
+	if n < 0 {
+		n = 0
+	}
+	return &BitSet{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// BitSetFromWords reconstructs a set from its raw word representation,
+// as produced by Words. It is used by the wire codec.
+func BitSetFromWords(n int, words []uint64) (*BitSet, error) {
+	want := (n + 63) / 64
+	if n < 0 || len(words) != want {
+		return nil, fmt.Errorf("bitset: got %d words for n=%d, want %d", len(words), n, want)
+	}
+	// Reject stray bits beyond n so equal sets have equal encodings.
+	if rem := n % 64; rem != 0 && want > 0 {
+		if words[want-1]&^(uint64(1)<<rem-1) != 0 {
+			return nil, fmt.Errorf("bitset: bits set beyond capacity %d", n)
+		}
+	}
+	b := &BitSet{n: n, words: make([]uint64, want)}
+	copy(b.words, words)
+	return b, nil
+}
+
+// Cap returns the capacity n.
+func (b *BitSet) Cap() int { return b.n }
+
+// Words exposes a copy of the raw representation for encoding.
+func (b *BitSet) Words() []uint64 {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return w
+}
+
+// Add inserts id into the set. Out-of-range IDs are ignored and reported.
+func (b *BitSet) Add(id ProcessID) bool {
+	if id < 0 || int(id) >= b.n {
+		return false
+	}
+	b.words[id/64] |= 1 << (uint(id) % 64)
+	return true
+}
+
+// Has reports membership.
+func (b *BitSet) Has(id ProcessID) bool {
+	if id < 0 || int(id) >= b.n {
+		return false
+	}
+	return b.words[id/64]&(1<<(uint(id)%64)) != 0
+}
+
+// Count returns the number of members.
+func (b *BitSet) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Members lists the member IDs in ascending order.
+func (b *BitSet) Members() []ProcessID {
+	out := make([]ProcessID, 0, b.Count())
+	for i := 0; i < b.n; i++ {
+		if b.Has(ProcessID(i)) {
+			out = append(out, ProcessID(i))
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (b *BitSet) Clone() *BitSet {
+	c := NewBitSet(b.n)
+	copy(c.words, b.words)
+	return c
+}
+
+// Equal reports whether two sets have identical capacity and members.
+func (b *BitSet) Equal(o *BitSet) bool {
+	if b == nil || o == nil {
+		return b == o
+	}
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the two sets share at least one member.
+func (b *BitSet) Intersects(o *BitSet) bool {
+	m := len(b.words)
+	if len(o.words) < m {
+		m = len(o.words)
+	}
+	for i := 0; i < m; i++ {
+		if b.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the set as {p0,p3,...}.
+func (b *BitSet) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, id := range b.Members() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(id.String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

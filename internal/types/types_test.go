@@ -1,0 +1,202 @@
+package types
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewParams(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       int
+		wantT   int
+		wantErr error
+	}{
+		{name: "minimum", n: 3, wantT: 1},
+		{name: "odd", n: 7, wantT: 3},
+		{name: "even rounds down", n: 8, wantT: 3},
+		{name: "large", n: 201, wantT: 100},
+		{name: "too small", n: 2, wantErr: ErrBadN},
+		{name: "zero", n: 0, wantErr: ErrBadN},
+		{name: "negative", n: -5, wantErr: ErrBadN},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, err := NewParams(tt.n)
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("NewParams(%d) err = %v, want %v", tt.n, err, tt.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if p.T != tt.wantT {
+				t.Errorf("NewParams(%d).T = %d, want %d", tt.n, p.T, tt.wantT)
+			}
+			if !p.Valid() {
+				t.Errorf("NewParams(%d) not Valid", tt.n)
+			}
+		})
+	}
+}
+
+func TestCustomParams(t *testing.T) {
+	tests := []struct {
+		n, t    int
+		wantErr error
+	}{
+		{n: 7, t: 3},
+		{n: 7, t: 2},
+		{n: 7, t: 0},
+		{n: 10, t: 4},
+		{n: 7, t: 4, wantErr: ErrBadT},
+		{n: 7, t: -1, wantErr: ErrBadT},
+		{n: 1, t: 0, wantErr: ErrBadN},
+	}
+	for _, tt := range tests {
+		_, err := Custom(tt.n, tt.t)
+		if !errors.Is(err, tt.wantErr) {
+			t.Errorf("Custom(%d,%d) err = %v, want %v", tt.n, tt.t, err, tt.wantErr)
+		}
+	}
+}
+
+// TestQuorumIntersection verifies the paper's key observation (Section 6):
+// with quorum q = ceil((n+t+1)/2), any two q-sized subsets of [0,n)
+// intersect in at least t+1 processes, hence in at least one correct
+// process. This is the property the whole weak BA safety argument rests on.
+func TestQuorumIntersection(t *testing.T) {
+	for n := 3; n <= 203; n += 2 {
+		p, err := NewParams(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := p.Quorum()
+		// Worst-case overlap of two q-subsets of an n-set is 2q - n.
+		overlap := 2*q - n
+		if overlap < p.T+1 {
+			t.Errorf("n=%d t=%d quorum=%d: worst-case overlap %d < t+1=%d",
+				n, p.T, q, overlap, p.T+1)
+		}
+		if q > n {
+			t.Errorf("n=%d: quorum %d exceeds n", n, q)
+		}
+	}
+}
+
+// TestSmallQuorumNoIntersection documents why the naive t+1 quorum is NOT
+// safe at n=2t+1: two (t+1)-quorums may intersect only in a single,
+// possibly Byzantine, process.
+func TestSmallQuorumNoIntersection(t *testing.T) {
+	p, _ := NewParams(11) // t=5
+	q := p.SmallQuorum()
+	overlap := 2*q - p.N
+	if overlap > 1 {
+		t.Fatalf("expected worst-case overlap of two (t+1)-quorums to be <=1, got %d", overlap)
+	}
+}
+
+func TestFallbackThreshold(t *testing.T) {
+	// Lemma 6's bound: f < (n-t-1)/2 implies no fallback. Check the
+	// threshold matches the closed form for n = 2t+1: (n-t-1)/2 = t/2.
+	for n := 3; n <= 101; n += 2 {
+		p, _ := NewParams(n)
+		if got, want := p.FallbackThreshold(), p.T/2; got != want {
+			t.Errorf("n=%d: FallbackThreshold=%d want %d", n, got, want)
+		}
+	}
+}
+
+func TestLeaderRotation(t *testing.T) {
+	p, _ := NewParams(5)
+	seen := map[ProcessID]int{}
+	for j := 1; j <= p.N; j++ {
+		l := p.Leader(j)
+		if err := p.CheckProcess(l); err != nil {
+			t.Fatalf("phase %d: %v", j, err)
+		}
+		seen[l]++
+	}
+	if len(seen) != p.N {
+		t.Errorf("n phases should visit all n leaders, saw %d", len(seen))
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Errorf("leader %v chosen %d times in n phases", id, c)
+		}
+	}
+}
+
+func TestCheckProcess(t *testing.T) {
+	p, _ := NewParams(5)
+	if err := p.CheckProcess(0); err != nil {
+		t.Error(err)
+	}
+	if err := p.CheckProcess(4); err != nil {
+		t.Error(err)
+	}
+	if err := p.CheckProcess(5); !errors.Is(err, ErrBadProcess) {
+		t.Errorf("want ErrBadProcess, got %v", err)
+	}
+	if err := p.CheckProcess(NilProcess); !errors.Is(err, ErrBadProcess) {
+		t.Errorf("want ErrBadProcess, got %v", err)
+	}
+}
+
+func TestValueBasics(t *testing.T) {
+	if !Bottom.IsBottom() {
+		t.Error("Bottom must be bottom")
+	}
+	v := Value("hello")
+	if v.IsBottom() {
+		t.Error("non-empty value reported bottom")
+	}
+	if !v.Equal(Value("hello")) || v.Equal(Value("world")) {
+		t.Error("Equal misbehaves")
+	}
+	c := v.Clone()
+	c[0] = 'H'
+	if v[0] != 'h' {
+		t.Error("Clone aliases the original")
+	}
+	if Bottom.String() != "⊥" {
+		t.Errorf("Bottom.String() = %q", Bottom.String())
+	}
+	if Value("abc").String() != "abc" {
+		t.Errorf("printable string mangled: %q", Value("abc").String())
+	}
+	if got := (Value{0xff, 0x01}).String(); got != "0xff01" {
+		t.Errorf("hex rendering: %q", got)
+	}
+}
+
+func TestBinaryValues(t *testing.T) {
+	if !Zero.IsBinary() || !One.IsBinary() {
+		t.Error("canonical binaries not binary")
+	}
+	if Value("x").IsBinary() || Bottom.IsBinary() {
+		t.Error("non-binary classified binary")
+	}
+	if !BinaryValue(true).Equal(One) || !BinaryValue(false).Equal(Zero) {
+		t.Error("BinaryValue mapping wrong")
+	}
+}
+
+func TestValueEqualQuick(t *testing.T) {
+	eqRefl := func(b []byte) bool {
+		v := Value(b)
+		return v.Equal(v.Clone())
+	}
+	if err := quick.Check(eqRefl, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcessIDString(t *testing.T) {
+	if ProcessID(3).String() != "p3" {
+		t.Errorf("got %q", ProcessID(3).String())
+	}
+	if NilProcess.String() != "p?" {
+		t.Errorf("got %q", NilProcess.String())
+	}
+}

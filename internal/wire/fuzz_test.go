@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"testing"
+
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/proto"
+)
+
+// fuzzPayload is a payload with several field shapes for the corpus.
+type fuzzPayload struct {
+	A int
+	B []byte
+	C bool
+}
+
+func (fuzzPayload) Type() string { return "fuzz/p" }
+func (fuzzPayload) Words() int   { return 1 }
+
+func fuzzRegistry() *Registry {
+	reg := NewRegistry()
+	reg.MustRegister(Codec{
+		Type: "fuzz/p",
+		Encode: func(w *Writer, p proto.Payload) error {
+			fp := p.(fuzzPayload)
+			w.PutInt(fp.A)
+			w.PutBytes(fp.B)
+			w.PutBool(fp.C)
+			return nil
+		},
+		Decode: func(r *Reader) (proto.Payload, error) {
+			return fuzzPayload{A: r.Int(), B: r.Bytes(), C: r.Bool()}, r.Err()
+		},
+	})
+	return reg
+}
+
+// FuzzDecodePayload: arbitrary bytes must never panic the registry
+// decoder; valid frames must round-trip.
+func FuzzDecodePayload(f *testing.F) {
+	reg := fuzzRegistry()
+	seed, err := reg.EncodePayload(fuzzPayload{A: -3, B: []byte("hello"), C: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte("fuzz/p"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := reg.DecodePayload(data) // must not panic
+		if err != nil {
+			return
+		}
+		// A successfully decoded frame must re-encode.
+		if _, err := reg.EncodePayload(p); err != nil {
+			t.Fatalf("decoded payload does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzReaderPrimitives: the Reader must be total over arbitrary inputs.
+func FuzzReaderPrimitives(f *testing.F) {
+	w := NewWriter()
+	w.PutUint64(7)
+	w.PutBytes([]byte("x"))
+	w.PutBool(true)
+	w.PutSig(sig.Signature{1, 2})
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		_ = r.Uint64()
+		_ = r.Bytes()
+		_ = r.Bool()
+		_ = r.Sig()
+		_ = r.Value()
+		_ = r.BitSet()
+		_ = r.Cert()
+		_ = r.Close()
+	})
+}

@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"adaptiveba/internal/proto"
+)
+
+// Codec encodes and decodes one payload type.
+type Codec struct {
+	// Type must match Payload.Type() of the payloads it handles.
+	Type string
+	// Encode appends the payload body to w.
+	Encode func(w *Writer, p proto.Payload) error
+	// Decode reconstructs a payload from r.
+	Decode func(r *Reader) (proto.Payload, error)
+}
+
+// Registry maps payload type names to codecs. Protocol packages expose a
+// RegisterWire(reg) function; runtimes that need framing (the TCP
+// transport) call them explicitly — no init() magic.
+type Registry struct {
+	mu     sync.RWMutex
+	codecs map[string]Codec
+}
+
+// Errors returned by the registry.
+var (
+	ErrUnknownType = errors.New("wire: unknown payload type")
+	ErrDupType     = errors.New("wire: duplicate payload type")
+)
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{codecs: make(map[string]Codec)}
+}
+
+// Register adds a codec. Registering the same type twice is a programming
+// error and is reported.
+func (r *Registry) Register(c Codec) error {
+	if c.Type == "" || c.Encode == nil || c.Decode == nil {
+		return fmt.Errorf("wire: incomplete codec for %q", c.Type)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.codecs[c.Type]; dup {
+		return fmt.Errorf("%w: %q", ErrDupType, c.Type)
+	}
+	r.codecs[c.Type] = c
+	return nil
+}
+
+// MustRegister registers codecs and panics on conflict (setup-time only).
+func (r *Registry) MustRegister(codecs ...Codec) {
+	for _, c := range codecs {
+		if err := r.Register(c); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// EncodePayload frames a payload as (type, body).
+func (r *Registry) EncodePayload(p proto.Payload) ([]byte, error) {
+	r.mu.RLock()
+	c, ok := r.codecs[p.Type()]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownType, p.Type())
+	}
+	w := NewWriter()
+	w.PutString(p.Type())
+	if err := c.Encode(w, p); err != nil {
+		return nil, fmt.Errorf("wire: encode %q: %w", p.Type(), err)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodePayload parses a frame produced by EncodePayload.
+func (r *Registry) DecodePayload(b []byte) (proto.Payload, error) {
+	rd := NewReader(b)
+	typ := rd.String()
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	c, ok := r.codecs[typ]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownType, typ)
+	}
+	p, err := c.Decode(rd)
+	if err != nil {
+		return nil, fmt.Errorf("wire: decode %q: %w", typ, err)
+	}
+	if err := rd.Close(); err != nil {
+		return nil, fmt.Errorf("wire: decode %q: %w", typ, err)
+	}
+	return p, nil
+}

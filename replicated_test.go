@@ -1,0 +1,76 @@
+package adaptiveba
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func queuesFor(n, perReplica int) [][][]byte {
+	queues := make([][][]byte, n)
+	for i := range queues {
+		for c := 0; c < perReplica; c++ {
+			queues[i] = append(queues[i], []byte(fmt.Sprintf("cmd-%d-%d", i, c)))
+		}
+	}
+	return queues
+}
+
+func TestReplicateLogFailureFree(t *testing.T) {
+	res, err := ReplicateLog(Options{N: 5}, queuesFor(5, 2), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement {
+		t.Fatal("replicas diverged")
+	}
+	if len(res.Entries) != 7 {
+		t.Fatalf("got %d entries", len(res.Entries))
+	}
+	for s, e := range res.Entries {
+		if e.Slot != s || e.Proposer != s%5 {
+			t.Errorf("entry %d: %+v", s, e)
+		}
+		if e.Command == nil {
+			t.Errorf("slot %d skipped in failure-free run", s)
+		}
+	}
+	if !bytes.Equal(res.Entries[5].Command, []byte("cmd-0-1")) {
+		t.Errorf("slot 5 (p0's second turn) committed %q", res.Entries[5].Command)
+	}
+	if res.WordsPerCommit <= 0 || res.WordsPerCommit > float64(14*5) {
+		t.Errorf("words per commit = %.1f, want linear in n", res.WordsPerCommit)
+	}
+}
+
+func TestReplicateLogWithCrashedProposer(t *testing.T) {
+	res, err := ReplicateLog(Options{N: 5, Faults: 1}, queuesFor(5, 1), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement {
+		t.Fatal("replicas diverged")
+	}
+	// p1 crashed: its slot (slot 1) is skipped; the rest commit.
+	for _, e := range res.Entries {
+		if e.Proposer == 1 && e.Command != nil {
+			t.Errorf("slot %d committed from crashed p1", e.Slot)
+		}
+		if e.Proposer != 1 && e.Command == nil {
+			t.Errorf("slot %d skipped with live proposer", e.Slot)
+		}
+	}
+}
+
+func TestReplicateLogValidation(t *testing.T) {
+	if _, err := ReplicateLog(Options{N: 5}, queuesFor(4, 1), 3); !errors.Is(err, ErrInputs) {
+		t.Errorf("queue count: %v", err)
+	}
+	if _, err := ReplicateLog(Options{N: 5}, queuesFor(5, 1), 0); !errors.Is(err, ErrInputs) {
+		t.Errorf("zero slots: %v", err)
+	}
+	if _, err := ReplicateLog(Options{N: 2}, queuesFor(2, 1), 1); !errors.Is(err, ErrOptions) {
+		t.Errorf("bad n: %v", err)
+	}
+}
