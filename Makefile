@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments examples fuzz cover clean
+.PHONY: all build test test-short test-race vet bench experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -18,6 +18,10 @@ test:
 # Short mode skips the heavyweight safety sweeps.
 test-short:
 	$(GO) test -short ./...
+
+# Race detector over the concurrent paths (parallel harness, transport).
+test-race:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -35,6 +39,8 @@ examples:
 
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzDecodePayload -fuzztime 30s
+	$(GO) test ./internal/wire -fuzz FuzzCertRoundTrip -fuzztime 30s
+	$(GO) test ./internal/wire -fuzz FuzzFullRegistryRoundTrip -fuzztime 30s
 	$(GO) test ./internal/core/bb -fuzz FuzzDecodeValue -fuzztime 30s
 
 cover:

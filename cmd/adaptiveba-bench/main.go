@@ -39,10 +39,12 @@ func run(args []string, out io.Writer) error {
 		fault    = fs.String("fault", "crash", "sweep fault pattern")
 		asCSV    = fs.Bool("csv", false, "emit the sweep as CSV")
 		asPlot   = fs.Bool("plot", false, "render the sweep as an ASCII chart (words vs f, one series per n)")
+		workers  = fs.Int("parallel", 0, "worker count for grid points (0 = one per CPU, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	pool := harness.Pool{Workers: *workers}
 	switch {
 	case *list:
 		for _, e := range harness.Experiments() {
@@ -54,10 +56,10 @@ func run(args []string, out io.Writer) error {
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (use -list)", *exp)
 		}
-		return runOne(out, e)
+		return runOne(out, e, pool)
 	case *all:
 		for _, e := range harness.Experiments() {
-			if err := runOne(out, e); err != nil {
+			if err := runOne(out, e, pool); err != nil {
 				return err
 			}
 		}
@@ -71,7 +73,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("-fs: %w", err)
 		}
-		outcomes, err := harness.Sweep(harness.Spec{
+		outcomes, err := pool.Sweep(harness.Spec{
 			Protocol: harness.Protocol(*protocol),
 			Fault:    harness.Fault(*fault),
 		}, ns, fvals)
@@ -137,9 +139,9 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func runOne(out io.Writer, e harness.Experiment) error {
+func runOne(out io.Writer, e harness.Experiment, pool harness.Pool) error {
 	fmt.Fprintf(out, "== %s — %s ==\n", e.ID, e.Title)
-	report, err := e.Run()
+	report, err := e.Run(pool)
 	if err != nil {
 		return fmt.Errorf("%s: %w", e.ID, err)
 	}

@@ -39,6 +39,8 @@ func run(args []string, out io.Writer) error {
 		ed25519  = fs.Bool("ed25519", false, "use real Ed25519 signatures")
 		trace    = fs.Bool("trace", false, "print the message trace")
 		layers   = fs.Bool("layers", true, "print the per-layer word breakdown")
+		reps     = fs.Int("reps", 1, "repetitions with derived seeds (> 1 prints a min/median/max summary)")
+		workers  = fs.Int("parallel", 0, "worker count for -reps runs (0 = one per CPU, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +58,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *trace {
 		spec.Trace = out
+	}
+	if *reps > 1 {
+		return runReps(out, spec, *reps, *workers)
 	}
 	o, err := harness.Run(spec)
 	if err != nil {
@@ -84,6 +89,29 @@ func run(args []string, out io.Writer) error {
 	}
 	if !o.Agreement || !o.Decided {
 		return fmt.Errorf("run violated agreement or termination")
+	}
+	return nil
+}
+
+// runReps executes the spec reps times with DeriveSeed-assigned seeds on
+// a worker pool and prints the aggregate. Output is identical for every
+// -parallel value (the runner's determinism guarantee).
+func runReps(out io.Writer, spec harness.Spec, reps, workers int) error {
+	seeds := make([]int64, reps)
+	for r := range seeds {
+		seeds[r] = harness.DeriveSeed(spec.Seed, int64(spec.N), int64(spec.F), int64(r))
+	}
+	st, err := harness.Pool{Workers: workers}.Stats(spec, seeds)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "protocol    %s\n", spec.Protocol)
+	fmt.Fprintf(out, "n, f, runs  %d, %d, %d\n", spec.N, spec.F, st.Runs)
+	fmt.Fprintf(out, "words       min %d   median %d   max %d\n", st.Words.Min, st.Words.Median, st.Words.Max)
+	fmt.Fprintf(out, "ticks (δ)   min %d   median %d   max %d\n", st.Ticks.Min, st.Ticks.Median, st.Ticks.Max)
+	fmt.Fprintf(out, "violations  %d\n", st.Violations)
+	if st.Violations > 0 {
+		return fmt.Errorf("%d of %d runs violated agreement or termination", st.Violations, st.Runs)
 	}
 	return nil
 }

@@ -26,8 +26,10 @@ type Experiment struct {
 	ID string
 	// Title describes the reproduced artifact.
 	Title string
-	// Run executes the experiment and returns a formatted report.
-	Run func() (string, error)
+	// Run executes the experiment on the given pool and returns a
+	// formatted report. The report is byte-identical for every worker
+	// count (Pool's determinism contract).
+	Run func(Pool) (string, error)
 }
 
 // Experiments lists every experiment in DESIGN.md order.
@@ -126,24 +128,24 @@ func ExperimentByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-func expT1BB() (string, error) {
+func expT1BB(pool Pool) (string, error) {
 	var b strings.Builder
 	b.WriteString("BB words, n sweep at f=0 (expected: linear in n):\n")
-	outs, err := Sweep(Spec{Protocol: ProtocolBB}, []int{11, 21, 41, 81, 161}, []int{0})
+	outs, err := pool.Sweep(Spec{Protocol: ProtocolBB}, []int{11, 21, 41, 81, 161}, []int{0})
 	if err != nil {
 		return "", err
 	}
 	b.WriteString(Table(outs))
 
 	b.WriteString("\nBB words, f sweep at n=41, crash-first-leaders (crashed leaders stay silent, so the cost is FLAT at O(n) below the fallback threshold (n-t-1)/2=10 and jumps to the quadratic regime beyond it):\n")
-	outs, err = Sweep(Spec{Protocol: ProtocolBB}, []int{41}, []int{0, 2, 4, 6, 8, 10, 12, 16, 20})
+	outs, err = pool.Sweep(Spec{Protocol: ProtocolBB}, []int{41}, []int{0, 2, 4, 6, 8, 10, 12, 16, 20})
 	if err != nil {
 		return "", err
 	}
 	b.WriteString(Table(outs))
 
 	b.WriteString("\nBB words, f sweep at n=41, phase-spamming Byzantine leaders (the O(n(f+1)) worst case: each Byzantine leader burns Θ(n) words):\n")
-	outs, err = Sweep(Spec{Protocol: ProtocolBB, Fault: FaultSpam}, []int{41}, []int{0, 2, 4, 6, 8, 10})
+	outs, err = pool.Sweep(Spec{Protocol: ProtocolBB, Fault: FaultSpam}, []int{41}, []int{0, 2, 4, 6, 8, 10})
 	if err != nil {
 		return "", err
 	}
@@ -151,17 +153,17 @@ func expT1BB() (string, error) {
 	return b.String(), nil
 }
 
-func expT1StrongBA() (string, error) {
+func expT1StrongBA(pool Pool) (string, error) {
 	var b strings.Builder
 	b.WriteString("strong BA words, n sweep at f=0 (expected: ~4n, Lemma 8):\n")
-	outs, err := Sweep(Spec{Protocol: ProtocolStrongBA}, []int{11, 21, 41, 81, 161}, []int{0})
+	outs, err := pool.Sweep(Spec{Protocol: ProtocolStrongBA}, []int{11, 21, 41, 81, 161}, []int{0})
 	if err != nil {
 		return "", err
 	}
 	b.WriteString(Table(outs))
 
 	b.WriteString("\nstrong BA words with failures at n=21 (expected: fallback, quadratic+):\n")
-	outs, err = Sweep(Spec{Protocol: ProtocolStrongBA}, []int{21}, []int{1, 5, 10})
+	outs, err = pool.Sweep(Spec{Protocol: ProtocolStrongBA}, []int{21}, []int{1, 5, 10})
 	if err != nil {
 		return "", err
 	}
@@ -169,24 +171,24 @@ func expT1StrongBA() (string, error) {
 	return b.String(), nil
 }
 
-func expT1WBA() (string, error) {
+func expT1WBA(pool Pool) (string, error) {
 	var b strings.Builder
 	b.WriteString("weak BA words, n sweep at f=0 (expected: linear in n):\n")
-	outs, err := Sweep(Spec{Protocol: ProtocolWBA}, []int{11, 21, 41, 81, 161}, []int{0})
+	outs, err := pool.Sweep(Spec{Protocol: ProtocolWBA}, []int{11, 21, 41, 81, 161}, []int{0})
 	if err != nil {
 		return "", err
 	}
 	b.WriteString(Table(outs))
 
 	b.WriteString("\nweak BA words, f sweep at n=41, crashes (threshold (n-t-1)/2 = 10; fb column = processes that ran the fallback):\n")
-	outs, err = Sweep(Spec{Protocol: ProtocolWBA}, []int{41}, []int{0, 2, 4, 6, 8, 10, 11, 14, 20})
+	outs, err = pool.Sweep(Spec{Protocol: ProtocolWBA}, []int{41}, []int{0, 2, 4, 6, 8, 10, 11, 14, 20})
 	if err != nil {
 		return "", err
 	}
 	b.WriteString(Table(outs))
 
 	b.WriteString("\nweak BA words, f sweep at n=41, phase-spamming Byzantine leaders (the O(n(f+1)) worst case):\n")
-	outs, err = Sweep(Spec{Protocol: ProtocolWBA, Fault: FaultSpam}, []int{41}, []int{0, 2, 4, 6, 8, 10})
+	outs, err = pool.Sweep(Spec{Protocol: ProtocolWBA, Fault: FaultSpam}, []int{41}, []int{0, 2, 4, 6, 8, 10})
 	if err != nil {
 		return "", err
 	}
@@ -194,13 +196,19 @@ func expT1WBA() (string, error) {
 	return b.String(), nil
 }
 
-func expFigure1() (string, error) {
+func expFigure1(pool Pool) (string, error) {
 	var b strings.Builder
-	for _, f := range []int{0, 4, 12} {
-		o, err := Run(Spec{Protocol: ProtocolBB, N: 41, F: f})
-		if err != nil {
-			return "", err
-		}
+	fs := []int{0, 4, 12}
+	specs := make([]Spec, len(fs))
+	for i, f := range fs {
+		specs[i] = Spec{Protocol: ProtocolBB, N: 41, F: f}
+	}
+	outs, err := pool.Run(specs)
+	if err != nil {
+		return "", err
+	}
+	for i, f := range fs {
+		o := &outs[i]
 		fmt.Fprintf(&b, "BB at n=41, f=%d — per-layer words (decision %s, fallback procs %d):\n",
 			f, o.Decision, o.FallbackCount)
 		layers := make([]string, 0, len(o.ByLayer))
@@ -217,54 +225,59 @@ func expFigure1() (string, error) {
 	return b.String(), nil
 }
 
-func expAdapt() (string, error) {
+func expAdapt(pool Pool) (string, error) {
 	var b strings.Builder
 	fs := []int{0, 1, 2, 4, 6, 8, 10, 12, 16, 20}
 	b.WriteString("words vs f at n=41: adaptive BB (crash and worst-case spam adversaries) vs always-quadratic baselines. The spam column grows ~n per failure; the baselines stay quadratic; the adaptive protocol crosses them only in the fallback regime f > (n-t-1)/2 = 10:\n")
 	fmt.Fprintf(&b, "%5s %12s %12s %12s %12s\n", "f", "bb(crash)", "bb(spam)", "echo-bb", "dolev-strong")
+	var specs []Spec
+	idx := make(map[string]int)
+	add := func(key string, s Spec) {
+		idx[key] = len(specs)
+		specs = append(specs, s)
+	}
 	for _, f := range fs {
-		ad, err := Run(Spec{Protocol: ProtocolBB, N: 41, F: f})
-		if err != nil {
-			return "", err
-		}
-		spamWords := int64(-1)
+		add(fmt.Sprintf("bb/%d", f), Spec{Protocol: ProtocolBB, N: 41, F: f})
 		if f <= 10 { // spam exercises the pre-fallback worst case
-			spam, err := Run(Spec{Protocol: ProtocolBB, N: 41, F: f, Fault: FaultSpam})
-			if err != nil {
-				return "", err
-			}
-			spamWords = spam.Words
+			add(fmt.Sprintf("spam/%d", f), Spec{Protocol: ProtocolBB, N: 41, F: f, Fault: FaultSpam})
 		}
-		echo, err := Run(Spec{Protocol: ProtocolEchoBB, N: 41, F: f})
-		if err != nil {
-			return "", err
-		}
-		ds, err := Run(Spec{Protocol: ProtocolDolevStrong, N: 41, F: f})
-		if err != nil {
-			return "", err
-		}
+		add(fmt.Sprintf("echo/%d", f), Spec{Protocol: ProtocolEchoBB, N: 41, F: f})
+		add(fmt.Sprintf("ds/%d", f), Spec{Protocol: ProtocolDolevStrong, N: 41, F: f})
+	}
+	outs, err := pool.Run(specs)
+	if err != nil {
+		return "", err
+	}
+	for _, f := range fs {
 		spamStr := "-"
-		if spamWords >= 0 {
-			spamStr = fmt.Sprintf("%d", spamWords)
+		if i, ok := idx[fmt.Sprintf("spam/%d", f)]; ok {
+			spamStr = fmt.Sprintf("%d", outs[i].Words)
 		}
-		fmt.Fprintf(&b, "%5d %12d %12s %12d %12d\n", f, ad.Words, spamStr, echo.Words, ds.Words)
+		fmt.Fprintf(&b, "%5d %12d %12s %12d %12d\n", f,
+			outs[idx[fmt.Sprintf("bb/%d", f)]].Words, spamStr,
+			outs[idx[fmt.Sprintf("echo/%d", f)]].Words,
+			outs[idx[fmt.Sprintf("ds/%d", f)]].Words)
 	}
 	return b.String(), nil
 }
 
-func expDolevReischuk() (string, error) {
+func expDolevReischuk(pool Pool) (string, error) {
 	var b strings.Builder
 	b.WriteString("failure-free words, n sweep: Dolev–Strong pays Θ(n²)+, adaptive BB pays Θ(n):\n")
 	fmt.Fprintf(&b, "%6s %14s %14s %10s\n", "n", "dolev-strong", "adaptive-bb", "ratio")
-	for _, n := range []int{11, 21, 41, 81, 161} {
-		ds, err := Run(Spec{Protocol: ProtocolDolevStrong, N: n})
-		if err != nil {
-			return "", err
-		}
-		ad, err := Run(Spec{Protocol: ProtocolBB, N: n})
-		if err != nil {
-			return "", err
-		}
+	ns := []int{11, 21, 41, 81, 161}
+	var specs []Spec
+	for _, n := range ns {
+		specs = append(specs,
+			Spec{Protocol: ProtocolDolevStrong, N: n},
+			Spec{Protocol: ProtocolBB, N: n})
+	}
+	outs, err := pool.Run(specs)
+	if err != nil {
+		return "", err
+	}
+	for i, n := range ns {
+		ds, ad := &outs[2*i], &outs[2*i+1]
 		fmt.Fprintf(&b, "%6d %14d %14d %9.1fx\n", n, ds.Words, ad.Words, float64(ds.Words)/float64(ad.Words))
 	}
 	return b.String(), nil
@@ -276,15 +289,21 @@ func expDolevReischuk() (string, error) {
 // threshold certificates compact them into Θ(n) words. Signatures are
 // counted per delivery: a certificate sent to one recipient counts as its
 // signer-set size.
-func expDRSignatures() (string, error) {
+func expDRSignatures(pool Pool) (string, error) {
 	var b strings.Builder
 	b.WriteString("failure-free BB: delivered component signatures vs words (sigs/n² should be ~constant, words/n should be ~constant):\n")
 	fmt.Fprintf(&b, "%6s %12s %12s %10s %10s\n", "n", "signatures", "words", "sigs/n²", "words/n")
-	for _, n := range []int{11, 21, 41, 81, 161} {
-		o, err := Run(Spec{Protocol: ProtocolBB, N: n})
-		if err != nil {
-			return "", err
-		}
+	ns := []int{11, 21, 41, 81, 161}
+	specs := make([]Spec, len(ns))
+	for i, n := range ns {
+		specs[i] = Spec{Protocol: ProtocolBB, N: n}
+	}
+	outs, err := pool.Run(specs)
+	if err != nil {
+		return "", err
+	}
+	for i, n := range ns {
+		o := &outs[i]
 		fmt.Fprintf(&b, "%6d %12d %12d %10.2f %10.1f\n", n, o.Signatures, o.Words,
 			float64(o.Signatures)/float64(n*n), float64(o.Words)/float64(n))
 	}
@@ -293,7 +312,7 @@ func expDRSignatures() (string, error) {
 
 // expAblateQuorum runs the double-commit attack against both quorum
 // choices (the paper's Section 6 key observation).
-func expAblateQuorum() (string, error) {
+func expAblateQuorum(Pool) (string, error) {
 	var b strings.Builder
 	b.WriteString("split-vote attack on weak BA (n=9, t=4 corrupted incl. the phase-1 leader):\n")
 	for _, naive := range []bool{true, false} {
@@ -350,29 +369,33 @@ func expAblateQuorum() (string, error) {
 // signatures created and verified across all correct processes. Aggregate
 // certificates shift cost from the network to verification; the word
 // model hides this, so it is reported separately.
-func expCryptoOps() (string, error) {
+func expCryptoOps(pool Pool) (string, error) {
 	var b strings.Builder
 	b.WriteString("signature operations at n=21 (all correct processes combined):\n")
 	fmt.Fprintf(&b, "%-14s %4s %10s %12s %10s\n", "protocol", "f", "signs", "verifies", "words")
-	for _, row := range []struct {
+	rows := []struct {
 		p Protocol
 		f int
 	}{
 		{ProtocolBB, 0}, {ProtocolBB, 4},
 		{ProtocolWBA, 0}, {ProtocolStrongBA, 0},
 		{ProtocolEchoBB, 0}, {ProtocolDolevStrong, 0},
-	} {
-		o, err := Run(Spec{Protocol: row.p, N: 21, F: row.f, CountOps: true})
-		if err != nil {
-			return "", err
-		}
-		fmt.Fprintf(&b, "%-14s %4d %10d %12d %10d\n", row.p, row.f, o.SignOps, o.VerifyOps, o.Words)
 	}
-	b.WriteString("\nsame BB run, aggregate certificates (every recipient re-verifies each\ncomponent signature — the verification cost ideal threshold schemes avoid):\n")
-	o, err := Run(Spec{Protocol: ProtocolBB, N: 21, CountOps: true, CertMode: threshold.ModeAggregate})
+	specs := make([]Spec, 0, len(rows)+1)
+	for _, row := range rows {
+		specs = append(specs, Spec{Protocol: row.p, N: 21, F: row.f, CountOps: true})
+	}
+	specs = append(specs, Spec{Protocol: ProtocolBB, N: 21, CountOps: true, CertMode: threshold.ModeAggregate})
+	outs, err := pool.Run(specs)
 	if err != nil {
 		return "", err
 	}
+	for i, row := range rows {
+		o := &outs[i]
+		fmt.Fprintf(&b, "%-14s %4d %10d %12d %10d\n", row.p, row.f, o.SignOps, o.VerifyOps, o.Words)
+	}
+	b.WriteString("\nsame BB run, aggregate certificates (every recipient re-verifies each\ncomponent signature — the verification cost ideal threshold schemes avoid):\n")
+	o := &outs[len(rows)]
 	fmt.Fprintf(&b, "%-14s %4d %10d %12d %10d\n", "bb(aggregate)", 0, o.SignOps, o.VerifyOps, o.Words)
 	return b.String(), nil
 }
@@ -381,24 +404,30 @@ func expCryptoOps() (string, error) {
 // Crashing the first f rotating leaders delays the deciding phase — the
 // round-complexity analogue of early stopping [10]: latency grows with
 // the number of failed leaders, not with t.
-func expLatency() (string, error) {
+func expLatency(pool Pool) (string, error) {
 	var b strings.Builder
+	wbaFs := []int{0, 1, 2, 4, 8}
+	sbaFs := []int{0, 1}
+	var specs []Spec
+	for _, f := range wbaFs {
+		specs = append(specs, Spec{Protocol: ProtocolWBA, N: 41, F: f})
+	}
+	for _, f := range sbaFs {
+		specs = append(specs, Spec{Protocol: ProtocolStrongBA, N: 41, F: f})
+	}
+	outs, err := pool.Run(specs)
+	if err != nil {
+		return "", err
+	}
 	b.WriteString("weak BA decision latency at n=41 (crashing leaders p1..pf delays the deciding phase by 5 rounds each; t would allow 107 rounds of phases):\n")
 	fmt.Fprintf(&b, "%5s %18s %14s\n", "f", "decision tick (δ)", "total ticks")
-	for _, f := range []int{0, 1, 2, 4, 8} {
-		o, err := Run(Spec{Protocol: ProtocolWBA, N: 41, F: f})
-		if err != nil {
-			return "", err
-		}
-		fmt.Fprintf(&b, "%5d %18d %14d\n", f, o.DecisionTick, o.Ticks)
+	for i, f := range wbaFs {
+		fmt.Fprintf(&b, "%5d %18d %14d\n", f, outs[i].DecisionTick, outs[i].Ticks)
 	}
 	b.WriteString("\nstrong BA decision latency at n=41 (f=0 decides in 5 rounds; any failure pays the fallback's t+2 double-length rounds):\n")
 	fmt.Fprintf(&b, "%5s %18s %14s\n", "f", "decision tick (δ)", "total ticks")
-	for _, f := range []int{0, 1} {
-		o, err := Run(Spec{Protocol: ProtocolStrongBA, N: 41, F: f})
-		if err != nil {
-			return "", err
-		}
+	for i, f := range sbaFs {
+		o := &outs[len(wbaFs)+i]
 		fmt.Fprintf(&b, "%5d %18d %14d\n", f, o.DecisionTick, o.Ticks)
 	}
 	return b.String(), nil
@@ -409,19 +438,23 @@ func expLatency() (string, error) {
 // its ROUND count to f but pays Θ(n²) words regardless, while this
 // paper's weak BA adapts its WORD count to f. Crash-at-start failures,
 // n = 21.
-func expTwoAdaptivities() (string, error) {
+func expTwoAdaptivities(pool Pool) (string, error) {
 	var b strings.Builder
 	b.WriteString("crash consensus, n=21, distinct inputs, one crash per round (staggered — the early-stopping worst case):\n")
 	fmt.Fprintf(&b, "%5s %16s %16s %16s %16s\n", "f", "floodset words", "floodset rounds", "wba words", "wba decide-tick")
-	for _, f := range []int{0, 2, 4, 8} {
-		fsOut, err := Run(Spec{Protocol: ProtocolFloodSet, N: 21, F: f, Fault: FaultStagger, Inputs: InputsDistinct})
-		if err != nil {
-			return "", err
-		}
-		wbaOut, err := Run(Spec{Protocol: ProtocolWBA, N: 21, F: f, Inputs: InputsDistinct})
-		if err != nil {
-			return "", err
-		}
+	fs := []int{0, 2, 4, 8}
+	var specs []Spec
+	for _, f := range fs {
+		specs = append(specs,
+			Spec{Protocol: ProtocolFloodSet, N: 21, F: f, Fault: FaultStagger, Inputs: InputsDistinct},
+			Spec{Protocol: ProtocolWBA, N: 21, F: f, Inputs: InputsDistinct})
+	}
+	outs, err := pool.Run(specs)
+	if err != nil {
+		return "", err
+	}
+	for i, f := range fs {
+		fsOut, wbaOut := &outs[2*i], &outs[2*i+1]
 		fmt.Fprintf(&b, "%5d %16d %16d %16d %16d\n",
 			f, fsOut.Words, fsOut.DecisionTick, wbaOut.Words, wbaOut.DecisionTick)
 	}
@@ -431,15 +464,21 @@ func expTwoAdaptivities() (string, error) {
 // expResilience exercises the Section 8 observation that the BB / weak BA
 // constructions tolerate any n >= 2t+1: fix t and grow n, checking the
 // quorum arithmetic, correctness, and the cost's linear growth in n.
-func expResilience() (string, error) {
+func expResilience(pool Pool) (string, error) {
 	var b strings.Builder
 	b.WriteString("BB at fixed t=5, growing n (n = 2t+1, 3t+1, 4t+1), f = t crashes:\n")
 	fmt.Fprintf(&b, "%6s %4s %4s %8s %10s %10s %5s\n", "n", "t", "f", "quorum", "words", "words/n", "ok")
-	for _, n := range []int{11, 16, 21} {
-		o, err := Run(Spec{Protocol: ProtocolBB, N: n, T: 5, F: 5})
-		if err != nil {
-			return "", err
-		}
+	ns := []int{11, 16, 21}
+	specs := make([]Spec, len(ns))
+	for i, n := range ns {
+		specs[i] = Spec{Protocol: ProtocolBB, N: n, T: 5, F: 5}
+	}
+	outs, err := pool.Run(specs)
+	if err != nil {
+		return "", err
+	}
+	for i, n := range ns {
+		o := &outs[i]
 		params, err := types.Custom(n, 5)
 		if err != nil {
 			return "", err
@@ -457,7 +496,7 @@ func expResilience() (string, error) {
 // expSMR measures the replicated log built on the adaptive BB: words per
 // committed command and wall-clock (ticks) per command, sequential vs
 // pipelined slots, failure-free vs one crashed proposer.
-func expSMR() (string, error) {
+func expSMR(Pool) (string, error) {
 	var b strings.Builder
 	b.WriteString("replicated log over adaptive BB, n=9, 9 slots:\n")
 	fmt.Fprintf(&b, "%-24s %4s %14s %14s %12s\n", "configuration", "f", "words/commit", "ticks/commit", "committed")
@@ -534,43 +573,51 @@ func expSMR() (string, error) {
 	return b.String(), nil
 }
 
-func expAblatePhases() (string, error) {
+func expAblatePhases(pool Pool) (string, error) {
 	var b strings.Builder
 	b.WriteString("weak BA, t+1 phases (Alg. 3) vs n phases (Section 6 prose), n=41:\n")
 	fmt.Fprintf(&b, "%5s %16s %16s %12s %12s\n", "f", "words(t+1 ph)", "words(n ph)", "ticks(t+1)", "ticks(n)")
-	for _, f := range []int{0, 4, 8} {
-		a, err := Run(Spec{Protocol: ProtocolWBA, N: 41, F: f})
-		if err != nil {
-			return "", err
-		}
-		c, err := Run(Spec{Protocol: ProtocolWBA, N: 41, F: f, WBAPhases: 41})
-		if err != nil {
-			return "", err
-		}
+	fs := []int{0, 4, 8}
+	var specs []Spec
+	for _, f := range fs {
+		specs = append(specs,
+			Spec{Protocol: ProtocolWBA, N: 41, F: f},
+			Spec{Protocol: ProtocolWBA, N: 41, F: f, WBAPhases: 41})
+	}
+	outs, err := pool.Run(specs)
+	if err != nil {
+		return "", err
+	}
+	for i, f := range fs {
+		a, c := &outs[2*i], &outs[2*i+1]
 		fmt.Fprintf(&b, "%5d %16d %16d %12d %12d\n", f, a.Words, c.Words, a.Ticks, c.Ticks)
 	}
 	return b.String(), nil
 }
 
-func expAblateSilent() (string, error) {
+func expAblateSilent(pool Pool) (string, error) {
 	var b strings.Builder
 	b.WriteString("weak BA with and without the silent-phase rule, n=41 (without it, every phase costs Θ(n): the adaptivity disappears):\n")
 	fmt.Fprintf(&b, "%5s %14s %16s\n", "f", "silent(on)", "silent(off)")
-	for _, f := range []int{0, 2, 4} {
-		on, err := Run(Spec{Protocol: ProtocolWBA, N: 41, F: f})
-		if err != nil {
-			return "", err
-		}
-		off, err := Run(Spec{Protocol: ProtocolWBA, N: 41, F: f, DisableSilentPhases: true})
-		if err != nil {
-			return "", err
-		}
+	fs := []int{0, 2, 4}
+	var specs []Spec
+	for _, f := range fs {
+		specs = append(specs,
+			Spec{Protocol: ProtocolWBA, N: 41, F: f},
+			Spec{Protocol: ProtocolWBA, N: 41, F: f, DisableSilentPhases: true})
+	}
+	outs, err := pool.Run(specs)
+	if err != nil {
+		return "", err
+	}
+	for i, f := range fs {
+		on, off := &outs[2*i], &outs[2*i+1]
 		fmt.Fprintf(&b, "%5d %14d %16d\n", f, on.Words, off.Words)
 	}
 	return b.String(), nil
 }
 
-func expAblateCert() (string, error) {
+func expAblateCert(pool Pool) (string, error) {
 	var b strings.Builder
 	b.WriteString("certificate encodings at quorum ⌈(n+t+1)/2⌉ (identical word cost = 1; bytes differ):\n")
 	fmt.Fprintf(&b, "%6s %8s %16s %16s\n", "n", "quorum", "aggregate(B)", "compact(B)")
@@ -611,12 +658,17 @@ func expAblateCert() (string, error) {
 
 	b.WriteString("\nend-to-end weak BA run at n=21, f=2 — identical words, different wire bytes:\n")
 	fmt.Fprintf(&b, "%-12s %10s %12s\n", "encoding", "words", "bytes")
-	for _, mode := range []threshold.Mode{threshold.ModeAggregate, threshold.ModeCompact} {
-		o, err := Run(Spec{Protocol: ProtocolWBA, N: 21, F: 2, CertMode: mode, MeasureBytes: true})
-		if err != nil {
-			return "", err
-		}
-		fmt.Fprintf(&b, "%-12s %10d %12d\n", mode, o.Words, o.Bytes)
+	modes := []threshold.Mode{threshold.ModeAggregate, threshold.ModeCompact}
+	specs := make([]Spec, len(modes))
+	for i, mode := range modes {
+		specs[i] = Spec{Protocol: ProtocolWBA, N: 21, F: 2, CertMode: mode, MeasureBytes: true}
+	}
+	outs, err := pool.Run(specs)
+	if err != nil {
+		return "", err
+	}
+	for i, mode := range modes {
+		fmt.Fprintf(&b, "%-12s %10d %12d\n", mode, outs[i].Words, outs[i].Bytes)
 	}
 	return b.String(), nil
 }

@@ -11,12 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"runtime"
-	"sort"
 	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"adaptiveba/internal/adversary"
 	"adaptiveba/internal/adversary/attacks"
@@ -597,64 +593,10 @@ func (r *runner) decisionTick(res *sim.Result) types.Tick {
 
 // Sweep runs the spec across (n, f) combinations (skipping infeasible
 // f > t pairs), in parallel across CPU cores — runs are independent
-// simulations with private crypto suites.
+// simulations with private crypto suites. Results are identical to a
+// sequential sweep (see Pool's determinism contract in parallel.go).
 func Sweep(base Spec, ns, fs []int) ([]Outcome, error) {
-	type cell struct{ n, f int }
-	var cells []cell
-	for _, n := range ns {
-		params, err := types.NewParams(n)
-		if err != nil {
-			return nil, err
-		}
-		for _, f := range fs {
-			if f > params.T {
-				continue
-			}
-			cells = append(cells, cell{n: n, f: f})
-		}
-	}
-
-	outs := make([]*Outcome, len(cells))
-	errs := make([]error, len(cells))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	var next atomic.Int64
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cells) {
-					return
-				}
-				spec := base
-				spec.N, spec.F = cells[i].n, cells[i].f
-				o, err := Run(spec)
-				if err != nil {
-					errs[i] = fmt.Errorf("n=%d f=%d: %w", cells[i].n, cells[i].f, err)
-					continue
-				}
-				outs[i] = o
-			}
-		}()
-	}
-	wg.Wait()
-
-	result := make([]Outcome, 0, len(cells))
-	for i := range cells {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		result = append(result, *outs[i])
-	}
-	return result, nil
+	return Parallel().Sweep(base, ns, fs)
 }
 
 // Table renders outcomes as an aligned text table.
@@ -727,30 +669,9 @@ type Stats struct {
 	Violations int
 }
 
-// RunStats executes the spec once per seed and aggregates.
+// RunStats executes the spec once per seed and aggregates. The
+// aggregation is order-independent, so any Pool produces the same
+// Stats; use Pool.Stats directly to spread the seeds across workers.
 func RunStats(spec Spec, seeds []int64) (*Stats, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("%w: no seeds", ErrSpec)
-	}
-	words := make([]int64, 0, len(seeds))
-	ticks := make([]types.Tick, 0, len(seeds))
-	st := &Stats{Spec: spec, Runs: len(seeds)}
-	for _, seed := range seeds {
-		s := spec
-		s.Seed = seed
-		o, err := Run(s)
-		if err != nil {
-			return nil, err
-		}
-		if !o.Decided || !o.Agreement {
-			st.Violations++
-		}
-		words = append(words, o.Words)
-		ticks = append(ticks, o.Ticks)
-	}
-	sort.Slice(words, func(a, b int) bool { return words[a] < words[b] })
-	sort.Slice(ticks, func(a, b int) bool { return ticks[a] < ticks[b] })
-	st.Words.Min, st.Words.Median, st.Words.Max = words[0], words[len(words)/2], words[len(words)-1]
-	st.Ticks.Min, st.Ticks.Median, st.Ticks.Max = ticks[0], ticks[len(ticks)/2], ticks[len(ticks)-1]
-	return st, nil
+	return Sequential().Stats(spec, seeds)
 }

@@ -236,7 +236,7 @@ func TestAllExperimentsRunnable(t *testing.T) {
 		// only check the cheap ones end to end.
 		switch e.ID {
 		case "ablate-quorum", "ablate-cert", "dr-sigs":
-			report, err := e.Run()
+			report, err := e.Run(Sequential())
 			if err != nil {
 				t.Errorf("%s: %v", e.ID, err)
 			}

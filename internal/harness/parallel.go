@@ -1,0 +1,279 @@
+// Parallel experiment runner: a worker-pool scheduler that fans
+// independent grid points (one Spec each) out across workers, with
+// per-run isolated state, deterministic per-point seed derivation, and
+// streaming in-order result collection under a bounded reorder window.
+//
+// Determinism contract: Run(spec) depends only on the spec (every run
+// builds a private signature ring, crypto suite, simulator, and
+// recorder), and both Pool.Run and Pool.Stream deliver outcomes in grid
+// order. A sweep executed with any worker count therefore produces
+// byte-identical tables, CSVs, and reports; TestParallelDeterminism
+// enforces this.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"adaptiveba/internal/types"
+)
+
+// Pool schedules independent harness runs across a fixed number of
+// workers. The zero value uses one worker per CPU (GOMAXPROCS).
+type Pool struct {
+	// Workers is the worker count: <= 0 means GOMAXPROCS(0), 1 runs
+	// strictly sequentially in the caller's goroutine.
+	Workers int
+}
+
+// Sequential returns a pool that runs points one at a time.
+func Sequential() Pool { return Pool{Workers: 1} }
+
+// Parallel returns a pool with one worker per CPU.
+func Parallel() Pool { return Pool{} }
+
+// workers resolves the effective worker count for a job list.
+func (p Pool) workers(jobs int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// pointErr labels a failed grid point with its coordinates.
+func pointErr(i int, s Spec, err error) error {
+	return fmt.Errorf("point %d (%s n=%d f=%d seed=%d): %w", i, s.Protocol, s.N, s.F, s.Seed, err)
+}
+
+// Stream executes every spec and hands each outcome to emit in spec
+// order as soon as it is available. Memory stays bounded: at most
+// 2×workers outcomes exist at once (in flight or awaiting their turn in
+// the reorder window), so arbitrarily large grids can stream to disk.
+// The first run or emit error aborts the remaining points.
+func (p Pool) Stream(specs []Spec, emit func(i int, o *Outcome) error) error {
+	n := len(specs)
+	if n == 0 {
+		return nil
+	}
+	if p.workers(n) == 1 {
+		for i := range specs {
+			o, err := Run(specs[i])
+			if err != nil {
+				return pointErr(i, specs[i], err)
+			}
+			if emit != nil {
+				if err := emit(i, o); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return p.stream(specs, emit)
+}
+
+// stream is the multi-worker path of Stream.
+func (p Pool) stream(specs []Spec, emit func(i int, o *Outcome) error) error {
+	n := len(specs)
+	w := p.workers(n)
+	// The window caps claimed-but-unemitted points: a ticket is taken
+	// when a worker claims a point and released when the collector emits
+	// it, so no worker races more than `window` points ahead of the
+	// in-order output cursor.
+	window := 2 * w
+
+	type slot struct {
+		i   int
+		o   *Outcome
+		err error
+	}
+	var (
+		next    atomic.Int64
+		quit    = make(chan struct{})
+		results = make(chan slot, window)
+		tickets = make(chan struct{}, window)
+		wg      sync.WaitGroup
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case tickets <- struct{}{}:
+				case <-quit:
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					<-tickets // return the unused claim
+					return
+				}
+				o, err := Run(specs[i])
+				if err != nil {
+					err = pointErr(i, specs[i], err)
+				}
+				// Never blocks: a held ticket guarantees buffer space.
+				select {
+				case results <- slot{i: i, o: o, err: err}:
+				case <-quit:
+					return
+				}
+			}
+		}()
+	}
+
+	pending := make(map[int]*Outcome, window)
+	emitted := 0
+	var firstErr error
+collect:
+	for emitted < n {
+		s := <-results
+		if s.err != nil {
+			firstErr = s.err
+			break
+		}
+		pending[s.i] = s.o
+		for {
+			o, ok := pending[emitted]
+			if !ok {
+				continue collect
+			}
+			delete(pending, emitted)
+			if emit != nil {
+				if err := emit(emitted, o); err != nil {
+					firstErr = err
+					break collect
+				}
+			}
+			<-tickets // emitted: the output cursor advanced, admit a new claim
+			emitted++
+		}
+	}
+	close(quit)
+	wg.Wait()
+	return firstErr
+}
+
+// Run executes every spec and returns the outcomes in spec order.
+func (p Pool) Run(specs []Spec) ([]Outcome, error) {
+	outs := make([]Outcome, 0, len(specs))
+	err := p.Stream(specs, func(_ int, o *Outcome) error {
+		outs = append(outs, *o)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// DeriveSeed maps a base seed plus grid coordinates (n, f, repetition,
+// ...) to a per-point seed. The derivation is a pure function of the
+// point, never of scheduling order, so sequential and parallel sweeps
+// assign identical seeds — the root of the byte-identical guarantee for
+// randomized adversaries.
+func DeriveSeed(base int64, coords ...int64) int64 {
+	x := splitmix64(uint64(base) + 0x9e3779b97f4a7c15)
+	for _, c := range coords {
+		x = splitmix64(x + 0x9e3779b97f4a7c15 + uint64(c))
+	}
+	return int64(x)
+}
+
+// Grid expands base across the (n, f) sweep lattice in row-major order,
+// skipping infeasible f > t points. reps > 1 repeats each point that
+// many times with DeriveSeed-assigned seeds; reps <= 1 keeps the base
+// seed (one point per cell).
+func Grid(base Spec, ns, fs []int, reps int) ([]Spec, error) {
+	var specs []Spec
+	for _, n := range ns {
+		var params types.Params
+		var err error
+		if base.T > 0 {
+			params, err = types.Custom(n, base.T)
+		} else {
+			params, err = types.NewParams(n)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range fs {
+			if f > params.T {
+				continue
+			}
+			s := base
+			s.N, s.F = n, f
+			if reps <= 1 {
+				specs = append(specs, s)
+				continue
+			}
+			for r := 0; r < reps; r++ {
+				s.Seed = DeriveSeed(base.Seed, int64(n), int64(f), int64(r))
+				specs = append(specs, s)
+			}
+		}
+	}
+	return specs, nil
+}
+
+// Sweep runs the spec across (n, f) combinations on this pool.
+func (p Pool) Sweep(base Spec, ns, fs []int) ([]Outcome, error) {
+	specs, err := Grid(base, ns, fs, 1)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(specs)
+}
+
+// Stats executes the spec once per seed on this pool and aggregates.
+func (p Pool) Stats(spec Spec, seeds []int64) (*Stats, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("%w: no seeds", ErrSpec)
+	}
+	specs := make([]Spec, len(seeds))
+	for i, seed := range seeds {
+		s := spec
+		s.Seed = seed
+		specs[i] = s
+	}
+	words := make([]int64, 0, len(seeds))
+	ticks := make([]types.Tick, 0, len(seeds))
+	st := &Stats{Spec: spec, Runs: len(seeds)}
+	err := p.Stream(specs, func(_ int, o *Outcome) error {
+		if !o.Decided || !o.Agreement {
+			st.Violations++
+		}
+		words = append(words, o.Words)
+		ticks = append(ticks, o.Ticks)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(words, func(a, b int) bool { return words[a] < words[b] })
+	sort.Slice(ticks, func(a, b int) bool { return ticks[a] < ticks[b] })
+	st.Words.Min, st.Words.Median, st.Words.Max = words[0], words[len(words)/2], words[len(words)-1]
+	st.Ticks.Min, st.Ticks.Median, st.Ticks.Max = ticks[0], ticks[len(ticks)/2], ticks[len(ticks)-1]
+	return st, nil
+}

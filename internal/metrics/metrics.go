@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"adaptiveba/internal/types"
 )
@@ -43,7 +44,10 @@ type SendEvent struct {
 	Honest bool   // whether the sender is correct; only honest sends count
 }
 
-// Recorder accumulates events. It is safe for concurrent use.
+// Recorder accumulates events. It is safe for concurrent use: the
+// scalar operation counters are atomics (they are the hottest path —
+// every certificate combine/verify in a run lands here), while the
+// map-touching send path shares one mutex.
 type Recorder struct {
 	mu sync.Mutex
 
@@ -52,9 +56,9 @@ type Recorder struct {
 	byLayer   map[string]*Stats
 	byProc    map[types.ProcessID]*Stats
 
-	combines     int64 // threshold-certificate combine operations
-	certVerifies int64
-	ticks        types.Tick
+	combines     atomic.Int64 // threshold-certificate combine operations
+	certVerifies atomic.Int64
+	ticks        atomic.Int64
 }
 
 // NewRecorder returns an empty recorder.
@@ -103,25 +107,13 @@ func (r *Recorder) RecordSend(ev SendEvent) {
 }
 
 // RecordCombine notes one threshold combine operation.
-func (r *Recorder) RecordCombine() {
-	r.mu.Lock()
-	r.combines++
-	r.mu.Unlock()
-}
+func (r *Recorder) RecordCombine() { r.combines.Add(1) }
 
 // RecordCertVerify notes one certificate verification.
-func (r *Recorder) RecordCertVerify() {
-	r.mu.Lock()
-	r.certVerifies++
-	r.mu.Unlock()
-}
+func (r *Recorder) RecordCertVerify() { r.certVerifies.Add(1) }
 
 // SetTicks records the run's duration in ticks (δ units).
-func (r *Recorder) SetTicks(t types.Tick) {
-	r.mu.Lock()
-	r.ticks = t
-	r.mu.Unlock()
-}
+func (r *Recorder) SetTicks(t types.Tick) { r.ticks.Store(int64(t)) }
 
 // Report is an immutable snapshot of a recorder.
 type Report struct {
@@ -143,9 +135,9 @@ func (r *Recorder) Snapshot() Report {
 		Byzantine: r.byzantine,
 		ByLayer:   make(map[string]Stats, len(r.byLayer)),
 		ByProcess: make(map[types.ProcessID]Stats, len(r.byProc)),
-		Combines:  r.combines,
-		CertVer:   r.certVerifies,
-		Ticks:     r.ticks,
+		Combines:  r.combines.Load(),
+		CertVer:   r.certVerifies.Load(),
+		Ticks:     types.Tick(r.ticks.Load()),
 	}
 	for k, v := range r.byLayer {
 		rep.ByLayer[k] = *v

@@ -68,6 +68,8 @@ var (
 	ErrNoPeers = errors.New("transport: could not connect to all peers")
 	// ErrCrashed reports a CrashAfter fault injection firing.
 	ErrCrashed = errors.New("transport: node crashed by fault injection")
+	// ErrClosed reports that Close ended the run.
+	ErrClosed = errors.New("transport: node closed")
 )
 
 // Config describes one node.
@@ -100,7 +102,8 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Node runs one machine over TCP.
+// Node runs one machine over TCP. Close may be called from any
+// goroutine, at any point of the lifecycle, any number of times.
 type Node struct {
 	cfg     Config
 	machine proto.Machine
@@ -111,6 +114,10 @@ type Node struct {
 
 	listener net.Listener
 	outbound []net.Conn
+	inbound  map[net.Conn]struct{}
+
+	closeOnce sync.Once
+	closed    chan struct{}
 }
 
 // NewNode validates the configuration and builds a node.
@@ -140,7 +147,38 @@ func NewNode(cfg Config, machine proto.Machine) (*Node, error) {
 		cfg:     cfg,
 		machine: machine,
 		readyCh: make(chan types.ProcessID, cfg.Params.N*2),
+		inbound: make(map[net.Conn]struct{}),
+		closed:  make(chan struct{}),
 	}, nil
+}
+
+// Close shuts the node down: it stops accepting, closes every inbound
+// and outbound connection (unblocking their reader goroutines), and
+// makes an in-flight Run return ErrClosed. It is idempotent and safe to
+// call concurrently with Run and with itself.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		n.mu.Lock()
+		ln := n.listener
+		conns := make([]net.Conn, 0, len(n.outbound)+len(n.inbound))
+		for _, c := range n.outbound {
+			if c != nil {
+				conns = append(conns, c)
+			}
+		}
+		for c := range n.inbound {
+			conns = append(conns, c)
+		}
+		n.mu.Unlock()
+		if ln != nil {
+			ln.Close()
+		}
+		for _, c := range conns {
+			c.Close()
+		}
+	})
+	return nil
 }
 
 // helloBase is the byte string the hello frame signs.
@@ -158,7 +196,17 @@ func (n *Node) Run(ctx context.Context) (types.Value, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
+	n.mu.Lock()
 	n.listener = ln
+	n.mu.Unlock()
+	// Close publishes n.closed before collecting connections under mu, so
+	// either it sees the listener we just stored, or we see closed here.
+	select {
+	case <-n.closed:
+		ln.Close()
+		return nil, ErrClosed
+	default:
+	}
 	defer ln.Close()
 	defer n.closeOutbound()
 
@@ -188,7 +236,22 @@ func (n *Node) acceptLoop(ctx context.Context, ln net.Listener) {
 
 // readLoop authenticates one inbound connection and ingests its frames.
 func (n *Node) readLoop(ctx context.Context, conn net.Conn) {
-	defer conn.Close()
+	n.mu.Lock()
+	n.inbound[conn] = struct{}{}
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+		conn.Close()
+	}()
+	// Same ordering argument as in Run: either Close sees this conn in
+	// n.inbound, or we see closed and shut down ourselves.
+	select {
+	case <-n.closed:
+		return
+	default:
+	}
 	from := types.NilProcess
 	for {
 		if ctx.Err() != nil {
@@ -249,7 +312,6 @@ func (n *Node) readLoop(ctx context.Context, conn net.Conn) {
 // least Quorum connections (including self) are required.
 func (n *Node) connectAll(ctx context.Context) error {
 	deadline := time.Now().Add(n.cfg.DialTimeout)
-	n.outbound = make([]net.Conn, n.cfg.Params.N)
 	s, err := n.cfg.Crypto.Signer(n.cfg.ID).Sign(helloBase(n.cfg.ID))
 	if err != nil {
 		return fmt.Errorf("transport: sign hello: %w", err)
@@ -268,6 +330,11 @@ func (n *Node) connectAll(ctx context.Context) error {
 				if ctx.Err() != nil {
 					return
 				}
+				select {
+				case <-n.closed:
+					return
+				default:
+				}
 				conn, err := net.DialTimeout("tcp", n.cfg.Addrs[i], time.Second)
 				if err == nil {
 					conns[i] = conn
@@ -285,6 +352,7 @@ func (n *Node) connectAll(ctx context.Context) error {
 		return ctx.Err()
 	}
 	connected := 0
+	outbound := make([]net.Conn, n.cfg.Params.N)
 	for i, conn := range conns {
 		if conn == nil {
 			continue
@@ -293,8 +361,17 @@ func (n *Node) connectAll(ctx context.Context) error {
 			conn.Close()
 			continue
 		}
-		n.outbound[i] = conn
+		outbound[i] = conn
 		connected++
+	}
+	n.mu.Lock()
+	n.outbound = outbound
+	n.mu.Unlock()
+	select {
+	case <-n.closed:
+		n.closeOutbound()
+		return ErrClosed
+	default:
 	}
 	if connected < n.cfg.Quorum {
 		return fmt.Errorf("%w: connected to %d/%d, need %d", ErrNoPeers, connected, n.cfg.Params.N, n.cfg.Quorum)
@@ -322,6 +399,8 @@ func (n *Node) barrier(ctx context.Context) error {
 			seen[id] = true
 		case <-timeout:
 			return fmt.Errorf("%w: %d/%d ready", ErrNoPeers, len(seen), n.cfg.Quorum)
+		case <-n.closed:
+			return ErrClosed
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -344,6 +423,9 @@ func (n *Node) tickLoop(ctx context.Context) (types.Value, error) {
 		case <-ctx.Done():
 			v, _ := n.machine.Output()
 			return v, ctx.Err()
+		case <-n.closed:
+			v, _ := n.machine.Output()
+			return v, ErrClosed
 		case <-ticker.C:
 		}
 		now++
@@ -401,7 +483,10 @@ func (n *Node) send(outs []proto.Outgoing) {
 }
 
 func (n *Node) closeOutbound() {
-	for _, c := range n.outbound {
+	n.mu.Lock()
+	conns := append([]net.Conn(nil), n.outbound...)
+	n.mu.Unlock()
+	for _, c := range conns {
 		if c != nil {
 			c.Close()
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"adaptiveba/internal/proto"
 	"adaptiveba/internal/smr"
 	"adaptiveba/internal/types"
+	"adaptiveba/internal/wire"
 )
 
 // freeAddrs reserves n distinct localhost ports and releases them so the
@@ -275,6 +277,179 @@ func TestCrashInjectionOverTCP(t *testing.T) {
 		if !v.Equal(types.One) {
 			t.Errorf("node %v decided %v, want 1", id, v)
 		}
+	}
+}
+
+// chatter is a payload for the lifecycle tests below.
+type chatter struct{ Seq int }
+
+func (chatter) Type() string { return "test/chatter" }
+func (chatter) Words() int   { return 1 }
+
+// chatterMachine broadcasts every tick and never finishes, so a node
+// running it has active deliveries in flight until Close ends the run.
+type chatterMachine struct {
+	params types.Params
+	seq    int
+}
+
+func (m *chatterMachine) broadcast() []proto.Outgoing {
+	m.seq++
+	outs := make([]proto.Outgoing, 0, m.params.N)
+	for i := 0; i < m.params.N; i++ {
+		outs = append(outs, proto.Outgoing{To: types.ProcessID(i), Session: "chat", Payload: chatter{Seq: m.seq}})
+	}
+	return outs
+}
+
+func (m *chatterMachine) Begin(types.Tick) []proto.Outgoing                  { return m.broadcast() }
+func (m *chatterMachine) Tick(types.Tick, []proto.Incoming) []proto.Outgoing { return m.broadcast() }
+func (m *chatterMachine) Output() (types.Value, bool)                        { return nil, false }
+func (m *chatterMachine) Done() bool                                         { return false }
+
+func chatterRegistry() *wire.Registry {
+	reg := NewFullRegistry()
+	reg.MustRegister(wire.Codec{
+		Type: "test/chatter",
+		Encode: func(w *wire.Writer, p proto.Payload) error {
+			w.PutInt(p.(chatter).Seq)
+			return nil
+		},
+		Decode: func(r *wire.Reader) (proto.Payload, error) {
+			return chatter{Seq: r.Int()}, r.Err()
+		},
+	})
+	return reg
+}
+
+// TestCloseUnblocksActiveCluster tears a busy mesh down: every node runs
+// a machine that never decides, so the only way out of Run is Close.
+// Several goroutines per node race Close against live deliveries; every
+// Run must return ErrClosed promptly (no deadlock) and the reader,
+// acceptor, and tick goroutines must all drain (no leak).
+func TestCloseUnblocksActiveCluster(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const n = 5
+	crypto, params := setup(t, n)
+	addrs := freeAddrs(t, n)
+
+	nodes := make([]*Node, n)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		node, err := NewNode(Config{
+			Params: params, Crypto: crypto, ID: types.ProcessID(i), Addrs: addrs,
+			Registry:     chatterRegistry(),
+			TickInterval: 5 * time.Millisecond,
+		}, &chatterMachine{params: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		go func() {
+			_, err := node.Run(context.Background())
+			errs <- err
+		}()
+	}
+
+	// Let the mesh come up and exchange a few hundred messages.
+	time.Sleep(300 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	for _, node := range nodes {
+		for k := 0; k < 3; k++ {
+			wg.Add(1)
+			go func(nd *Node) {
+				defer wg.Done()
+				if err := nd.Close(); err != nil {
+					t.Errorf("Close: %v", err)
+				}
+			}(node)
+		}
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrClosed) {
+				t.Errorf("Run returned %v, want ErrClosed", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("Run did not return after Close — deadlock")
+		}
+	}
+	// Close after Run has already returned stays a no-op.
+	if err := nodes[0].Close(); err != nil {
+		t.Errorf("repeat Close: %v", err)
+	}
+
+	// Reader/acceptor goroutines unwind asynchronously after their
+	// connections die; poll with a deadline instead of a fixed sleep.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after close", before, g)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestCloseDuringConnectAborts closes a node whose peers never come up:
+// the dial retry loops must notice and Run must return ErrClosed long
+// before the dial deadline.
+func TestCloseDuringConnectAborts(t *testing.T) {
+	crypto, params := setup(t, 3)
+	addrs := freeAddrs(t, 3) // nothing listens on the peer ports
+	node, err := NewNode(Config{
+		Params: params, Crypto: crypto, ID: 0, Addrs: addrs,
+		Registry:    chatterRegistry(),
+		DialTimeout: 30 * time.Second,
+	}, &chatterMachine{params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 1)
+	go func() {
+		_, err := node.Run(context.Background())
+		errs <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	node.Close()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Run returned %v, want ErrClosed", err)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Errorf("Run took %v to notice Close during dialing", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after Close during connect")
+	}
+}
+
+// TestCloseBeforeRun: a node closed before Run starts must refuse to run.
+func TestCloseBeforeRun(t *testing.T) {
+	crypto, params := setup(t, 3)
+	addrs := freeAddrs(t, 3)
+	node, err := NewNode(Config{
+		Params: params, Crypto: crypto, ID: 0, Addrs: addrs,
+		Registry: chatterRegistry(),
+	}, &chatterMachine{params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := node.Run(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Errorf("Run after Close returned %v, want ErrClosed", err)
 	}
 }
 

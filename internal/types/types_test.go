@@ -200,3 +200,107 @@ func TestProcessIDString(t *testing.T) {
 		t.Errorf("got %q", NilProcess.String())
 	}
 }
+
+// TestQuorumEdges pins the three thresholds at the boundary parameter
+// sets: the smallest legal system (n=3, t=1), optimal resilience
+// n = 2t+1 at several sizes, and Custom parameter sets with n > 2t+1
+// slack (Section 8's improved resilience).
+func TestQuorumEdges(t *testing.T) {
+	tests := []struct {
+		name                  string
+		n, t                  int
+		custom                bool
+		quorum, small, fbackT int
+	}{
+		// n=3, t=1: quorum is all of Π, small quorum is a majority, and
+		// the fallback threshold is 0 — a single failure forces fallback.
+		{name: "minimum n=3", n: 3, t: 1, quorum: 3, small: 2, fbackT: 0},
+		{name: "n=5 t=2", n: 5, t: 2, quorum: 4, small: 3, fbackT: 1},
+		{name: "n=7 t=3", n: 7, t: 3, quorum: 6, small: 4, fbackT: 1},
+		{name: "n=41 t=20", n: 41, t: 20, quorum: 31, small: 21, fbackT: 10},
+		// Even n: t rounds down, quorum formula still ceils correctly.
+		{name: "even n=8 t=3", n: 8, t: 3, quorum: 6, small: 4, fbackT: 2},
+		// Custom slack: n > 2t+1 shrinks the quorum fraction and raises
+		// the fallback threshold — more failures absorbed adaptively.
+		{name: "custom n=11 t=2", n: 11, t: 2, custom: true, quorum: 7, small: 3, fbackT: 4},
+		{name: "custom n=16 t=5", n: 16, t: 5, custom: true, quorum: 11, small: 6, fbackT: 5},
+		{name: "custom n=21 t=5", n: 21, t: 5, custom: true, quorum: 14, small: 6, fbackT: 7},
+		// Custom degenerate t=0: quorum collapses to a simple majority.
+		{name: "custom n=4 t=0", n: 4, t: 0, custom: true, quorum: 3, small: 1, fbackT: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var p Params
+			var err error
+			if tt.custom {
+				p, err = Custom(tt.n, tt.t)
+			} else {
+				p, err = NewParams(tt.n)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.T != tt.t {
+				t.Fatalf("T = %d, want %d", p.T, tt.t)
+			}
+			if got := p.Quorum(); got != tt.quorum {
+				t.Errorf("Quorum() = %d, want %d (⌈(n+t+1)/2⌉)", got, tt.quorum)
+			}
+			if got := p.SmallQuorum(); got != tt.small {
+				t.Errorf("SmallQuorum() = %d, want %d (t+1)", got, tt.small)
+			}
+			if got := p.FallbackThreshold(); got != tt.fbackT {
+				t.Errorf("FallbackThreshold() = %d, want %d ((n-t-1)/2)", got, tt.fbackT)
+			}
+			// The safety invariant behind the weak BA argument: any two
+			// paper quorums overlap in at least t+1 processes, hence in a
+			// correct one. (The quorum may exceed n-t: when Byzantine
+			// processes withhold signatures the certificate simply never
+			// forms and the run takes the fallback path — safety over
+			// liveness by construction.)
+			if over := 2*p.Quorum() - p.N; over < p.T+1 {
+				t.Errorf("two quorums overlap in %d < t+1 = %d processes", over, p.T+1)
+			}
+			if p.Quorum() < p.SmallQuorum() {
+				t.Errorf("paper quorum %d below t+1 = %d", p.Quorum(), p.SmallQuorum())
+			}
+		})
+	}
+}
+
+// TestQuorumVsSmallQuorumBoundary sweeps Custom parameter space and
+// checks where ⌈(n+t+1)/2⌉ coincides with t+1: exactly the n = 2t+1
+// systems and nowhere else (for n > 2t+1 the paper quorum is strictly
+// larger than t+1 whenever it must be, i.e. unless t = n-1 slackless
+// cases which Custom rejects).
+func TestQuorumVsSmallQuorumBoundary(t *testing.T) {
+	for n := 3; n <= 60; n++ {
+		for tt := 0; 2*tt+1 <= n; tt++ {
+			p, err := Custom(n, tt)
+			if err != nil {
+				t.Fatalf("Custom(%d,%d): %v", n, tt, err)
+			}
+			q, sq := p.Quorum(), p.SmallQuorum()
+			if n == 2*tt+1 {
+				// Optimal resilience: quorum = ceil((3t+2)/2) = n-t/2... must
+				// still intersect; equality with t+1 only in the n=3 corner.
+				if q == sq && n != 3 {
+					t.Errorf("n=%d t=%d: quorum collapsed to t+1", n, tt)
+				}
+				continue
+			}
+			// With slack the quorums stay ordered, intersecting, and —
+			// unlike at optimal resilience — attainable by the correct
+			// processes alone once n >= 3t+2 (certificates always form).
+			if q < sq {
+				t.Errorf("n=%d t=%d: quorum %d < small quorum %d", n, tt, q, sq)
+			}
+			if over := 2*q - n; over < tt+1 {
+				t.Errorf("n=%d t=%d: two quorums overlap in %d < t+1", n, tt, over)
+			}
+			if n >= 3*tt+2 && q > n-tt {
+				t.Errorf("n=%d t=%d: quorum %d unreachable by the %d correct processes despite n >= 3t+2", n, tt, q, n-tt)
+			}
+		}
+	}
+}

@@ -1,10 +1,13 @@
 package wire
 
 import (
+	"bytes"
 	"testing"
 
 	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
 	"adaptiveba/internal/proto"
+	"adaptiveba/internal/types"
 )
 
 // fuzzPayload is a payload with several field shapes for the corpus.
@@ -78,5 +81,64 @@ func FuzzReaderPrimitives(f *testing.F) {
 		_ = r.BitSet()
 		_ = r.Cert()
 		_ = r.Close()
+	})
+}
+
+// FuzzCertRoundTrip targets the threshold-certificate encoding: seeds
+// are real certificates in both encodings (aggregate carries quorum
+// component signatures, compact carries one); a decodable input must
+// re-encode to a byte-identical, re-decodable frame.
+func FuzzCertRoundTrip(f *testing.F) {
+	ring, err := sig.NewHMACRing(7, []byte("fuzz-cert"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	msg := []byte("fuzzed message")
+	for _, mode := range []threshold.Mode{threshold.ModeAggregate, threshold.ModeCompact} {
+		scheme, err := threshold.New(ring, 5, mode, []byte("d"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		shares := make([]threshold.Share, 0, 5)
+		for i := 0; i < 5; i++ {
+			sh, err := scheme.SignShare(types.ProcessID(i), msg)
+			if err != nil {
+				f.Fatal(err)
+			}
+			shares = append(shares, sh)
+		}
+		cert, err := scheme.Combine(msg, shares)
+		if err != nil {
+			f.Fatal(err)
+		}
+		w := NewWriter()
+		w.PutCert(cert)
+		f.Add(w.Bytes())
+	}
+	nilCert := NewWriter()
+	nilCert.PutCert(nil)
+	f.Add(nilCert.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		c := r.Cert() // must not panic
+		if r.Close() != nil {
+			return
+		}
+		w := NewWriter()
+		w.PutCert(c)
+		enc := w.Bytes()
+		r2 := NewReader(enc)
+		c2 := r2.Cert()
+		if err := r2.Close(); err != nil {
+			t.Fatalf("re-encoded certificate does not decode: %v", err)
+		}
+		w2 := NewWriter()
+		w2.PutCert(c2)
+		if !bytes.Equal(enc, w2.Bytes()) {
+			t.Fatalf("certificate encoding is not a fixed point:\n first: %x\nsecond: %x", enc, w2.Bytes())
+		}
 	})
 }

@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"adaptiveba/internal/proto"
@@ -59,6 +60,18 @@ func (r *Registry) MustRegister(codecs ...Codec) {
 			panic(err)
 		}
 	}
+}
+
+// Types returns the sorted names of every registered payload type.
+func (r *Registry) Types() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.codecs))
+	for t := range r.codecs {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // EncodePayload frames a payload as (type, body).
