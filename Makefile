@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench experiments examples fuzz cover clean
+.PHONY: all build test test-short test-race vet bench bench-json experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -26,6 +26,13 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Regenerate the verification fast-path A/B baseline (BENCH_crypto.json):
+# an Ed25519 aggregate-certificate sweep run with the cache on and off,
+# asserting byte-identical CSVs and recording the wall-clock speedup.
+bench-json:
+	$(GO) run ./cmd/adaptiveba-bench -bench-json BENCH_crypto.json \
+		-protocol bb -ns 21,41 -fs 0,1,2,4 -ed25519 -certmode aggregate
+
 # Regenerate every table/figure of the paper (EXPERIMENTS.md data).
 experiments:
 	$(GO) run ./cmd/adaptiveba-bench -all
@@ -42,6 +49,7 @@ fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzCertRoundTrip -fuzztime 30s
 	$(GO) test ./internal/wire -fuzz FuzzFullRegistryRoundTrip -fuzztime 30s
 	$(GO) test ./internal/core/bb -fuzz FuzzDecodeValue -fuzztime 30s
+	$(GO) test ./internal/crypto/verifycache -fuzz FuzzCachedVerifyMatchesDirect -fuzztime 30s
 
 cover:
 	$(GO) test ./... -coverprofile=cover.out

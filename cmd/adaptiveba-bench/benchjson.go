@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/harness"
+)
+
+// parseCertMode maps the -certmode flag to a threshold encoding.
+func parseCertMode(s string) (threshold.Mode, error) {
+	switch s {
+	case "compact":
+		return threshold.ModeCompact, nil
+	case "aggregate":
+		return threshold.ModeAggregate, nil
+	default:
+		return 0, fmt.Errorf("-certmode: unknown mode %q (compact | aggregate)", s)
+	}
+}
+
+// cryptoBenchRun is one arm of the cached-vs-uncached A/B measurement.
+type cryptoBenchRun struct {
+	VerifyCache bool    `json:"verify_cache"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Runs        int     `json:"runs"`
+	Words       int64   `json:"words"`
+	Messages    int64   `json:"messages"`
+	SignOps     int64   `json:"sign_ops"`
+	// VerifyOps counts verifications actually computed: with the cache on,
+	// deduplicated repeats are served from memory and not counted.
+	VerifyOps   int64 `json:"verify_ops"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}
+
+// cryptoBench is the full A/B report written by -bench-json.
+type cryptoBench struct {
+	Protocol string `json:"protocol"`
+	Fault    string `json:"fault"`
+	Scheme   string `json:"scheme"`
+	CertMode string `json:"cert_mode"`
+	Ns       []int  `json:"ns"`
+	Fs       []int  `json:"fs"`
+	Workers  int    `json:"pool_workers"`
+	GOMAXPROCS int  `json:"gomaxprocs"`
+
+	Cached   cryptoBenchRun `json:"cached"`
+	Uncached cryptoBenchRun `json:"uncached"`
+
+	// SpeedupWall is uncached wall time over cached wall time.
+	SpeedupWall float64 `json:"speedup_wall"`
+	// CSVIdentical asserts the determinism contract: both arms emitted
+	// byte-identical sweep CSVs (the fast path changes CPU cost only).
+	CSVIdentical bool `json:"csv_identical"`
+}
+
+// runBenchJSON runs the configured sweep twice — fast path on, then off —
+// and writes the machine-readable comparison to path. It fails if the two
+// arms' CSVs differ, since that would mean the cache changed semantics.
+func runBenchJSON(out io.Writer, path string, pool harness.Pool, base harness.Spec, ns, fs []int) error {
+	scheme := "hmac"
+	if base.Ed25519 {
+		scheme = "ed25519"
+	}
+	rep := cryptoBench{
+		Protocol:   string(base.Protocol),
+		Fault:      string(base.Fault),
+		Scheme:     scheme,
+		CertMode:   base.CertMode.String(),
+		Ns:         ns,
+		Fs:         fs,
+		Workers:    pool.Workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	measure := func(noCache bool) (cryptoBenchRun, []byte, error) {
+		spec := base
+		spec.NoVerifyCache = noCache
+		start := time.Now()
+		outcomes, err := pool.Sweep(spec, ns, fs)
+		wall := time.Since(start)
+		if err != nil {
+			return cryptoBenchRun{}, nil, err
+		}
+		r := cryptoBenchRun{
+			VerifyCache: !noCache,
+			WallSeconds: wall.Seconds(),
+			Runs:        len(outcomes),
+		}
+		for i := range outcomes {
+			o := &outcomes[i]
+			r.Words += o.Words
+			r.Messages += o.Messages
+			r.SignOps += o.SignOps
+			r.VerifyOps += o.VerifyOps
+			r.CacheHits += o.CacheHits
+			r.CacheMisses += o.CacheMisses
+		}
+		var buf bytes.Buffer
+		if err := harness.WriteCSV(&buf, outcomes); err != nil {
+			return cryptoBenchRun{}, nil, err
+		}
+		return r, buf.Bytes(), nil
+	}
+
+	var cachedCSV, uncachedCSV []byte
+	var err error
+	rep.Cached, cachedCSV, err = measure(false)
+	if err != nil {
+		return fmt.Errorf("cached sweep: %w", err)
+	}
+	rep.Uncached, uncachedCSV, err = measure(true)
+	if err != nil {
+		return fmt.Errorf("uncached sweep: %w", err)
+	}
+	// CSV embeds Spec.NoVerifyCache nowhere; the rows carry only the
+	// measurements, which the fast path must not perturb.
+	rep.CSVIdentical = bytes.Equal(cachedCSV, uncachedCSV)
+	if rep.Cached.WallSeconds > 0 {
+		rep.SpeedupWall = rep.Uncached.WallSeconds / rep.Cached.WallSeconds
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bench-json: %s %s/%s ns=%v fs=%v\n", rep.Protocol, rep.Scheme, rep.CertMode, ns, fs)
+	fmt.Fprintf(out, "  cached    %.3fs  (verify ops %d, hits %d)\n", rep.Cached.WallSeconds, rep.Cached.VerifyOps, rep.Cached.CacheHits)
+	fmt.Fprintf(out, "  uncached  %.3fs  (verify ops %d)\n", rep.Uncached.WallSeconds, rep.Uncached.VerifyOps)
+	fmt.Fprintf(out, "  speedup   %.2fx  csv_identical=%v\n", rep.SpeedupWall, rep.CSVIdentical)
+	fmt.Fprintf(out, "  wrote %s\n", path)
+	if !rep.CSVIdentical {
+		return fmt.Errorf("determinism violation: cached and uncached sweeps produced different CSVs")
+	}
+	return nil
+}

@@ -40,11 +40,36 @@ func run(args []string, out io.Writer) error {
 		asCSV    = fs.Bool("csv", false, "emit the sweep as CSV")
 		asPlot   = fs.Bool("plot", false, "render the sweep as an ASCII chart (words vs f, one series per n)")
 		workers  = fs.Int("parallel", 0, "worker count for grid points (0 = one per CPU, 1 = sequential)")
+		ed25519  = fs.Bool("ed25519", false, "sweep with real Ed25519 signatures")
+		certmode = fs.String("certmode", "compact", "sweep threshold certificate encoding: compact | aggregate")
+		nocache  = fs.Bool("no-verify-cache", false, "sweep with the verification fast path disabled")
+		benchOut = fs.String("bench-json", "", "run the sweep cached AND uncached, write a machine-readable A/B report to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	pool := harness.Pool{Workers: *workers}
+	mode, err := parseCertMode(*certmode)
+	if err != nil {
+		return err
+	}
+	if *benchOut != "" {
+		ns, err := parseInts(*nsFlag)
+		if err != nil {
+			return fmt.Errorf("-ns: %w", err)
+		}
+		fvals, err := parseInts(*fsFlag)
+		if err != nil {
+			return fmt.Errorf("-fs: %w", err)
+		}
+		return runBenchJSON(out, *benchOut, pool, harness.Spec{
+			Protocol: harness.Protocol(*protocol),
+			Fault:    harness.Fault(*fault),
+			Ed25519:  *ed25519,
+			CertMode: mode,
+			CountOps: true,
+		}, ns, fvals)
+	}
 	switch {
 	case *list:
 		for _, e := range harness.Experiments() {
@@ -74,8 +99,11 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-fs: %w", err)
 		}
 		outcomes, err := pool.Sweep(harness.Spec{
-			Protocol: harness.Protocol(*protocol),
-			Fault:    harness.Fault(*fault),
+			Protocol:      harness.Protocol(*protocol),
+			Fault:         harness.Fault(*fault),
+			Ed25519:       *ed25519,
+			CertMode:      mode,
+			NoVerifyCache: *nocache,
 		}, ns, fvals)
 		if err != nil {
 			return err

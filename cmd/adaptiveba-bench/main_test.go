@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -80,5 +83,67 @@ func TestSweepPlot(t *testing.T) {
 	got := out.String()
 	if !strings.Contains(got, "bb: words vs f") || !strings.Contains(got, "legend: * n=11") {
 		t.Errorf("plot output:\n%s", got)
+	}
+}
+
+func TestBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-bench-json", path, "-protocol", "bb",
+		"-ns", "5,9", "-fs", "0,1", "-certmode", "aggregate",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "csv_identical=true") {
+		t.Errorf("summary missing determinism check:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep cryptoBench
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if !rep.CSVIdentical {
+		t.Error("cached and uncached CSVs differ")
+	}
+	if rep.Cached.Words != rep.Uncached.Words || rep.Cached.Messages != rep.Uncached.Messages {
+		t.Errorf("word/message counts differ across cache modes: %+v vs %+v", rep.Cached, rep.Uncached)
+	}
+	if rep.Cached.VerifyOps >= rep.Uncached.VerifyOps {
+		t.Errorf("cache saved no verifications: %d vs %d", rep.Cached.VerifyOps, rep.Uncached.VerifyOps)
+	}
+	if rep.Cached.CacheHits == 0 {
+		t.Error("no cache hits recorded")
+	}
+	if rep.Scheme != "hmac" || rep.CertMode != "aggregate" {
+		t.Errorf("metadata wrong: scheme=%q cert_mode=%q", rep.Scheme, rep.CertMode)
+	}
+}
+
+func TestSweepNoVerifyCacheMatchesDefault(t *testing.T) {
+	argsFor := func(extra ...string) []string {
+		return append([]string{"-sweep", "-protocol", "bb", "-ns", "5,9", "-fs", "0,1", "-certmode", "aggregate", "-csv"}, extra...)
+	}
+	var withCache, noCache bytes.Buffer
+	if err := run(argsFor(), &withCache); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(argsFor("-no-verify-cache"), &noCache); err != nil {
+		t.Fatal(err)
+	}
+	if withCache.String() != noCache.String() {
+		t.Errorf("-no-verify-cache changed the sweep CSV:\n--- cached ---\n%s\n--- uncached ---\n%s",
+			withCache.String(), noCache.String())
+	}
+}
+
+func TestBadCertMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sweep", "-ns", "5", "-fs", "0", "-certmode", "bogus"}, &out); err == nil {
+		t.Error("bogus certmode accepted")
 	}
 }

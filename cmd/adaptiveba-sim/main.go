@@ -15,9 +15,22 @@ import (
 	"os"
 	"sort"
 
+	"adaptiveba/internal/crypto/threshold"
 	"adaptiveba/internal/harness"
 	"adaptiveba/internal/types"
 )
+
+// parseCertMode maps the -certmode flag to a threshold encoding.
+func parseCertMode(s string) (threshold.Mode, error) {
+	switch s {
+	case "compact":
+		return threshold.ModeCompact, nil
+	case "aggregate":
+		return threshold.ModeAggregate, nil
+	default:
+		return 0, fmt.Errorf("-certmode: unknown mode %q (compact | aggregate)", s)
+	}
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -37,6 +50,8 @@ func run(args []string, out io.Writer) error {
 		value    = fs.String("value", "v", "broadcast / unanimous input value")
 		seed     = fs.Int64("seed", 1, "seed for randomized adversaries")
 		ed25519  = fs.Bool("ed25519", false, "use real Ed25519 signatures")
+		certmode = fs.String("certmode", "compact", "threshold certificate encoding: compact | aggregate")
+		nocache  = fs.Bool("no-verify-cache", false, "disable the shared verification fast path (A/B baseline; metrics are unaffected)")
 		trace    = fs.Bool("trace", false, "print the message trace")
 		layers   = fs.Bool("layers", true, "print the per-layer word breakdown")
 		reps     = fs.Int("reps", 1, "repetitions with derived seeds (> 1 prints a min/median/max summary)")
@@ -46,15 +61,21 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	mode, err := parseCertMode(*certmode)
+	if err != nil {
+		return err
+	}
 	spec := harness.Spec{
-		Protocol: harness.Protocol(*protocol),
-		N:        *n,
-		F:        *f,
-		Fault:    harness.Fault(*fault),
-		Inputs:   harness.Inputs(*inputs),
-		Value:    types.Value(*value),
-		Seed:     *seed,
-		Ed25519:  *ed25519,
+		Protocol:      harness.Protocol(*protocol),
+		N:             *n,
+		F:             *f,
+		Fault:         harness.Fault(*fault),
+		Inputs:        harness.Inputs(*inputs),
+		Value:         types.Value(*value),
+		Seed:          *seed,
+		Ed25519:       *ed25519,
+		CertMode:      mode,
+		NoVerifyCache: *nocache,
 	}
 	if *trace {
 		spec.Trace = out
@@ -75,6 +96,9 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "messages    %d\n", o.Messages)
 	fmt.Fprintf(out, "ticks (δ)   %d\n", o.Ticks)
 	fmt.Fprintf(out, "fallback    %d processes\n", o.FallbackCount)
+	if !spec.NoVerifyCache {
+		fmt.Fprintf(out, "verify $    %d hits / %d misses\n", o.CacheHits, o.CacheMisses)
+	}
 	if *layers && len(o.ByLayer) > 0 {
 		fmt.Fprintln(out, "\nper-layer words (Figure 1 composition):")
 		names := make([]string, 0, len(o.ByLayer))

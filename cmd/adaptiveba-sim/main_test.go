@@ -40,3 +40,50 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("f > t accepted")
 	}
 }
+
+func TestRunAggregateWithCacheStats(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "bb", "-n", "9", "-certmode", "aggregate"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verify $") {
+		t.Errorf("cache stats missing:\n%s", out.String())
+	}
+}
+
+func TestRunNoVerifyCacheMatchesDefault(t *testing.T) {
+	// The fast path must not perturb any reported metric; only the cache
+	// stat line itself may differ.
+	var cached, uncached bytes.Buffer
+	args := []string{"-protocol", "bb", "-n", "9", "-f", "1", "-certmode", "aggregate"}
+	if err := run(args, &cached); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-no-verify-cache"), &uncached); err != nil {
+		t.Fatal(err)
+	}
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "verify $") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(cached.String()) != strip(uncached.String()) {
+		t.Errorf("-no-verify-cache changed metrics:\n--- cached ---\n%s\n--- uncached ---\n%s",
+			cached.String(), uncached.String())
+	}
+	if strings.Contains(uncached.String(), "verify $") {
+		t.Error("cache stat line printed with cache off")
+	}
+}
+
+func TestRunRejectsBadCertMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "5", "-certmode", "bogus"}, &out); err == nil {
+		t.Error("bogus certmode accepted")
+	}
+}

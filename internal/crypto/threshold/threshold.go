@@ -26,8 +26,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/verifycache"
 	"adaptiveba/internal/types"
 )
 
@@ -129,11 +132,39 @@ type Scheme struct {
 	mode      Mode
 	base      sig.Scheme
 	dealerKey []byte // compact mode only
+
+	// Verification fast path (see internal/crypto/verifycache): an
+	// optional content-addressed memo for whole-certificate checks and a
+	// worker bound for fanning aggregate share verification across cores.
+	cache   *verifycache.Cache
+	workers int
 }
+
+// Option configures optional Scheme behavior at construction.
+type Option func(*Scheme)
+
+// WithVerifyCache memoizes aggregate-certificate verification results in
+// c, keyed by the full (mode, k, n, message, signer set, share bytes)
+// content. Compact certificates are not cached: their verification is a
+// single HMAC, no more expensive than the key hash itself.
+func WithVerifyCache(c *verifycache.Cache) Option {
+	return func(s *Scheme) { s.cache = c }
+}
+
+// WithParallelVerify fans aggregate share verification across up to
+// workers goroutines (early-cancelling on the first invalid share).
+// workers <= 1 keeps verification serial.
+func WithParallelVerify(workers int) Option {
+	return func(s *Scheme) { s.workers = workers }
+}
+
+// minParallelShares is the smallest share count worth the goroutine
+// fan-out; below it the spawn overhead exceeds the win even for Ed25519.
+const minParallelShares = 4
 
 // New creates a (k, n)-threshold scheme over base. For ModeCompact,
 // dealerSeed keys the trusted dealer; same seed, same dealer.
-func New(base sig.Scheme, k int, mode Mode, dealerSeed []byte) (*Scheme, error) {
+func New(base sig.Scheme, k int, mode Mode, dealerSeed []byte, opts ...Option) (*Scheme, error) {
 	if base == nil {
 		return nil, fmt.Errorf("%w: nil base scheme", ErrBadParams)
 	}
@@ -150,6 +181,9 @@ func New(base sig.Scheme, k int, mode Mode, dealerSeed []byte) (*Scheme, error) 
 		s.dealerKey = mac.Sum(nil)
 	default:
 		return nil, fmt.Errorf("%w: unknown mode %v", ErrBadParams, mode)
+	}
+	for _, o := range opts {
+		o(s)
 	}
 	return s, nil
 }
@@ -210,6 +244,12 @@ func (s *Scheme) Combine(msg []byte, shares []Share) (*Cert, error) {
 }
 
 // Verify reports whether cert proves that K distinct processes signed msg.
+//
+// With WithVerifyCache, aggregate-mode results are memoized under a key
+// committing to the entire certificate content, so the n-th machine
+// checking the same certificate pays a hash instead of k public-key
+// operations. With WithParallelVerify, a miss fans the k share checks
+// across cores, cancelling early on the first invalid share.
 func (s *Scheme) Verify(msg []byte, cert *Cert) bool {
 	if cert == nil || cert.Signers == nil || cert.K != s.k || cert.Signers.Cap() != s.n {
 		return false
@@ -217,11 +257,46 @@ func (s *Scheme) Verify(msg []byte, cert *Cert) bool {
 	if cert.Count() < s.k {
 		return false
 	}
+	if s.cache == nil || s.mode != ModeAggregate {
+		return s.verifyCert(msg, cert)
+	}
+	return s.cache.Do(s.certKey(msg, cert), func() bool {
+		return s.verifyCert(msg, cert)
+	})
+}
+
+// certKey commits to the scheme parameters, the message, and the full
+// certificate bytes (signer set and every share), so a cached positive
+// can never be served for a certificate that differs anywhere.
+func (s *Scheme) certKey(msg []byte, cert *Cert) verifycache.Key {
+	h := verifycache.NewHasher("cert")
+	h.Uint64(uint64(s.mode))
+	h.Uint64(uint64(s.k))
+	h.Uint64(uint64(s.n))
+	h.Bytes(msg)
+	words := cert.Signers.Words()
+	h.Uint64(uint64(len(words)))
+	for _, w := range words {
+		h.Uint64(w)
+	}
+	h.Uint64(uint64(len(cert.Shares)))
+	for _, sh := range cert.Shares {
+		h.Bytes(sh)
+	}
+	h.Bytes(cert.Tag)
+	return h.Sum()
+}
+
+// verifyCert is the uncached verification path (structural checks done).
+func (s *Scheme) verifyCert(msg []byte, cert *Cert) bool {
 	switch s.mode {
 	case ModeAggregate:
 		members := cert.Signers.Members()
 		if len(cert.Shares) != len(members) {
 			return false
+		}
+		if s.workers > 1 && len(members) >= minParallelShares {
+			return s.verifySharesParallel(msg, members, cert.Shares)
 		}
 		for i, id := range members {
 			if !s.base.Verify(id, msg, cert.Shares[i]) {
@@ -234,6 +309,36 @@ func (s *Scheme) Verify(msg []byte, cert *Cert) bool {
 	default:
 		return false
 	}
+}
+
+// verifySharesParallel checks shares across up to s.workers goroutines in
+// strided slices. The first failure flips a shared flag so the remaining
+// workers stop starting new verifications (the result — valid iff every
+// share is valid — is identical to the serial path either way).
+func (s *Scheme) verifySharesParallel(msg []byte, members []types.ProcessID, shares []sig.Signature) bool {
+	w := s.workers
+	if w > len(members) {
+		w = len(members)
+	}
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(members); i += w {
+				if failed.Load() {
+					return
+				}
+				if !s.base.Verify(members[i], msg, shares[i]) {
+					failed.Store(true)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	return !failed.Load()
 }
 
 // tag computes the dealer's compact tag over (k, msg, signer set).

@@ -1,0 +1,90 @@
+package verifycache
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/types"
+)
+
+func benchSchemes(b *testing.B) map[string]sig.Scheme {
+	b.Helper()
+	hm, err := sig.NewHMACRing(8, []byte("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ed, err := sig.NewEd25519Ring(8, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return map[string]sig.Scheme{"hmac": hm, "ed25519": ed}
+}
+
+// BenchmarkVerify compares raw scheme verification against the cached
+// wrapper on a repeated (signer, msg, sig) triple — the simulator's hot
+// pattern, where every machine re-verifies the same relayed signatures.
+func BenchmarkVerify(b *testing.B) {
+	for name, base := range benchSchemes(b) {
+		msg := []byte("benchmark message for repeated verification")
+		sg, err := base.Sign(3, msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/uncached", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !base.Verify(3, msg, sg) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+		b.Run(name+"/cached", func(b *testing.B) {
+			s := WrapScheme(base, New(DefaultCapacity))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !s.Verify(3, msg, sg) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyColdKeys measures the worst case for the cache: every
+// verification is a distinct key, so each pays hashing + insertion on
+// top of the real verify (the overhead the fast path must keep small).
+func BenchmarkVerifyColdKeys(b *testing.B) {
+	for name, base := range benchSchemes(b) {
+		msgs := make([][]byte, 1024)
+		sigs := make([]sig.Signature, len(msgs))
+		for i := range msgs {
+			msgs[i] = []byte(fmt.Sprintf("cold message %d", i))
+			sg, err := base.Sign(types.ProcessID(i%8), msgs[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			sigs[i] = sg
+		}
+		b.Run(name, func(b *testing.B) {
+			s := WrapScheme(base, New(512)) // smaller than the key set: constant churn
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				j := i % len(msgs)
+				if !s.Verify(types.ProcessID(j%8), msgs[j], sigs[j]) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSigKey(b *testing.B) {
+	msg := make([]byte, 128)
+	sg := sig.Signature(make([]byte, 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = SigKey(5, msg, sg)
+	}
+}

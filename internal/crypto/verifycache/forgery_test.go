@@ -1,0 +1,131 @@
+package verifycache
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/types"
+)
+
+// forgerySchemes builds one cached wrapper per base scheme implementation.
+func forgerySchemes(t *testing.T) map[string]sig.Scheme {
+	t.Helper()
+	hm, err := sig.NewHMACRing(5, []byte("forgery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := sig.NewEd25519Ring(5, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]sig.Scheme{
+		"hmac":    WrapScheme(hm, New(4096)),
+		"ed25519": WrapScheme(ed, New(4096)),
+	}
+}
+
+// TestCachedPositiveCannotLaunderForgery is the cache's central safety
+// property: after a valid (signer, msg, sig) verification is cached
+// positive, any bit-level variation of the signature or message must be
+// treated as a distinct key and fail verification — a cached "true" can
+// never vouch for bytes that were not actually checked.
+func TestCachedPositiveCannotLaunderForgery(t *testing.T) {
+	for name, s := range forgerySchemes(t) {
+		t.Run(name, func(t *testing.T) {
+			msg := []byte("transfer 10 coins to p2")
+			sg, err := s.Sign(1, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Prime the cache with the honest verification.
+			if !s.Verify(1, msg, sg) {
+				t.Fatal("honest signature rejected")
+			}
+			// Every single-bit perturbation of the signature must fail.
+			for i := range sg {
+				for bit := 0; bit < 8; bit++ {
+					forged := sg.Clone()
+					forged[i] ^= 1 << bit
+					if s.Verify(1, msg, forged) {
+						t.Fatalf("bit-flipped signature (byte %d bit %d) accepted", i, bit)
+					}
+				}
+			}
+			// Same signature, perturbed message.
+			for _, m2 := range [][]byte{
+				[]byte("transfer 10 coins to p3"),
+				[]byte("transfer 10 coins to p2 "),
+				msg[:len(msg)-1],
+				{},
+			} {
+				if s.Verify(1, m2, sg) {
+					t.Fatalf("signature accepted for altered message %q", m2)
+				}
+			}
+			// Same bytes, wrong claimed signer.
+			if s.Verify(2, msg, sg) {
+				t.Fatal("signature accepted for wrong signer")
+			}
+			// The honest entry is still served correctly after the misses.
+			if !s.Verify(1, msg, sg) {
+				t.Fatal("honest signature rejected after forgery probes")
+			}
+		})
+	}
+}
+
+// TestCachedNegativeStaysNegative: caching an invalid signature must not
+// block the honest signature from verifying, and vice versa.
+func TestCachedNegativeStaysNegative(t *testing.T) {
+	for name, s := range forgerySchemes(t) {
+		t.Run(name, func(t *testing.T) {
+			msg := []byte("m")
+			bad := sig.Signature(make([]byte, s.SignatureSize()))
+			if s.Verify(0, msg, bad) {
+				t.Fatal("zero signature accepted")
+			}
+			sg, err := s.Sign(0, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.Verify(0, msg, sg) {
+				t.Fatal("honest signature rejected after negative cached")
+			}
+			if s.Verify(0, msg, bad) {
+				t.Fatal("cached negative flipped")
+			}
+		})
+	}
+}
+
+// TestCrossSignerIsolation: process p's valid signature on msg must never
+// satisfy a verification request for process q, even when both are cached.
+func TestCrossSignerIsolation(t *testing.T) {
+	for name, s := range forgerySchemes(t) {
+		t.Run(name, func(t *testing.T) {
+			msg := []byte("shared message")
+			sigs := make([]sig.Signature, 5)
+			for p := types.ProcessID(0); p < 5; p++ {
+				sg, err := s.Sign(p, msg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sigs[p] = sg
+				if !s.Verify(p, msg, sg) {
+					t.Fatalf("p%d signature rejected", p)
+				}
+			}
+			for p := types.ProcessID(0); p < 5; p++ {
+				for q := types.ProcessID(0); q < 5; q++ {
+					if p == q {
+						continue
+					}
+					if s.Verify(q, msg, sigs[p]) {
+						t.Fatalf("p%d signature accepted as p%d", p, q)
+					}
+				}
+			}
+		})
+	}
+}

@@ -134,8 +134,20 @@ type Spec struct {
 	// registry to count bytes on the wire (slower; off by default).
 	MeasureBytes bool
 	// CountOps wraps the signature scheme with operation counters and
-	// reports SignOps/VerifyOps in the outcome.
+	// reports SignOps/VerifyOps in the outcome. The counter sits below
+	// the verification cache, so VerifyOps counts verifications actually
+	// computed — with the cache on, deduplicated repeats are not counted
+	// (that saving is the fast path's whole point; see CacheHits).
 	CountOps bool
+	// NoVerifyCache disables the run's verification fast path (shared
+	// content-addressed memoization of signature/certificate checks plus
+	// parallel aggregate-share verification) for A/B comparisons. The
+	// cache affects CPU cost only: words, messages, decisions, and CSVs
+	// are byte-identical in both modes.
+	NoVerifyCache bool
+	// CertWorkers bounds the per-certificate share-verification fan-out
+	// (0 = one worker per CPU, 1 = serial).
+	CertWorkers int
 	// WBAPhases / BBPhases override phase counts (ablations).
 	WBAPhases int
 	BBPhases  int
@@ -162,6 +174,11 @@ type Outcome struct {
 	SignOps    int64 // only when Spec.CountOps
 	VerifyOps  int64 // only when Spec.CountOps
 	Ticks      types.Tick
+
+	// Verification fast-path counters (zero when Spec.NoVerifyCache).
+	CacheHits   int64
+	CacheMisses int64
+	CacheWaits  int64
 
 	Decided   bool // every honest process decided
 	Agreement bool
@@ -230,7 +247,14 @@ func Run(spec Spec) (*Outcome, error) {
 		counter = sig.NewCounting(scheme)
 		scheme = counter
 	}
-	crypto := proto.NewCrypto(params, scheme, spec.CertMode, []byte("harness-dealer"))
+	var copts []proto.CryptoOption
+	if spec.NoVerifyCache {
+		copts = append(copts, proto.WithoutVerifyCache())
+	}
+	if spec.CertWorkers > 0 {
+		copts = append(copts, proto.WithCertVerifyWorkers(spec.CertWorkers))
+	}
+	crypto := proto.NewCrypto(params, scheme, spec.CertMode, []byte("harness-dealer"), copts...)
 
 	run := &runner{spec: spec, params: params, crypto: crypto, counter: counter}
 	return run.execute()
@@ -486,6 +510,9 @@ func (r *runner) execute() (*Outcome, error) {
 		ByLayer:       res.Report.ByLayer,
 		FallbackCount: r.fallbackCount(res),
 		DecisionTick:  r.decisionTick(res),
+		CacheHits:     res.Report.CacheHits,
+		CacheMisses:   res.Report.CacheMisses,
+		CacheWaits:    res.Report.CacheWaits,
 	}
 	if r.counter != nil {
 		out.SignOps = r.counter.Signs()

@@ -305,7 +305,9 @@ func TestBBViaBAProtocol(t *testing.T) {
 }
 
 func TestCountOps(t *testing.T) {
-	o, err := Run(Spec{Protocol: ProtocolBB, N: 9, CountOps: true})
+	// NoVerifyCache: the counter sits below the verification cache, so
+	// this pins the protocol's raw operation demand.
+	o, err := Run(Spec{Protocol: ProtocolBB, N: 9, CountOps: true, NoVerifyCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,6 +318,21 @@ func TestCountOps(t *testing.T) {
 	// every recipient checks certificates with many component signatures.
 	if o.VerifyOps < o.SignOps {
 		t.Errorf("expected verify-heavy workload: sign=%d verify=%d", o.SignOps, o.VerifyOps)
+	}
+	// The cache deduplicates exactly those repeats: the same run with the
+	// fast path on must compute strictly fewer verifications.
+	cached, err := Run(Spec{Protocol: ProtocolBB, N: 9, CountOps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.VerifyOps >= o.VerifyOps {
+		t.Errorf("cache saved nothing: cached=%d uncached=%d", cached.VerifyOps, o.VerifyOps)
+	}
+	if cached.CacheHits <= 0 || cached.CacheMisses <= 0 {
+		t.Errorf("cache counters not surfaced: hits=%d misses=%d", cached.CacheHits, cached.CacheMisses)
+	}
+	if o.CacheHits != 0 || o.CacheMisses != 0 {
+		t.Errorf("uncached run reported cache stats: hits=%d misses=%d", o.CacheHits, o.CacheMisses)
 	}
 	// Without CountOps the fields stay zero.
 	o2, err := Run(Spec{Protocol: ProtocolBB, N: 9})

@@ -59,6 +59,13 @@ type Recorder struct {
 	combines     atomic.Int64 // threshold-certificate combine operations
 	certVerifies atomic.Int64
 	ticks        atomic.Int64
+
+	// Verification fast-path counters (internal/crypto/verifycache),
+	// stored by the engine at snapshot time. CPU-cost instrumentation
+	// only: the cache never changes messages or words.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	cacheWaits  atomic.Int64
 }
 
 // NewRecorder returns an empty recorder.
@@ -115,6 +122,14 @@ func (r *Recorder) RecordCertVerify() { r.certVerifies.Add(1) }
 // SetTicks records the run's duration in ticks (δ units).
 func (r *Recorder) SetTicks(t types.Tick) { r.ticks.Store(int64(t)) }
 
+// SetCacheStats records the run's verification-cache counters (hits,
+// misses, single-flight waits).
+func (r *Recorder) SetCacheStats(hits, misses, waits int64) {
+	r.cacheHits.Store(hits)
+	r.cacheMisses.Store(misses)
+	r.cacheWaits.Store(waits)
+}
+
 // Report is an immutable snapshot of a recorder.
 type Report struct {
 	Honest    Stats            // sends by correct processes (the paper's measure)
@@ -124,6 +139,10 @@ type Report struct {
 	Combines  int64
 	CertVer   int64
 	Ticks     types.Tick
+	// Verification fast-path counters (0 when the cache is disabled).
+	CacheHits   int64
+	CacheMisses int64
+	CacheWaits  int64
 }
 
 // Snapshot copies the current counters.
@@ -135,9 +154,12 @@ func (r *Recorder) Snapshot() Report {
 		Byzantine: r.byzantine,
 		ByLayer:   make(map[string]Stats, len(r.byLayer)),
 		ByProcess: make(map[types.ProcessID]Stats, len(r.byProc)),
-		Combines:  r.combines.Load(),
-		CertVer:   r.certVerifies.Load(),
-		Ticks:     types.Tick(r.ticks.Load()),
+		Combines:    r.combines.Load(),
+		CertVer:     r.certVerifies.Load(),
+		Ticks:       types.Tick(r.ticks.Load()),
+		CacheHits:   r.cacheHits.Load(),
+		CacheMisses: r.cacheMisses.Load(),
+		CacheWaits:  r.cacheWaits.Load(),
 	}
 	for k, v := range r.byLayer {
 		rep.ByLayer[k] = *v

@@ -1,0 +1,41 @@
+package proto
+
+import (
+	"testing"
+
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/types"
+)
+
+// BenchmarkThresholdParallelAccess measures the Threshold(k) lookup under
+// contention — the per-message hot path every machine takes to resolve
+// its certificate scheme. The RWMutex read path should scale with cores
+// instead of serializing on a single mutex.
+func BenchmarkThresholdParallelAccess(b *testing.B) {
+	params, err := types.NewParams(31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ring, err := sig.NewHMACRing(31, []byte("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCrypto(params, ring, threshold.ModeCompact, []byte("d"))
+	// Pre-create the schemes so the benchmark hits the steady state.
+	ks := []int{8, 16, 21, 24}
+	for _, k := range ks {
+		c.Threshold(k)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s := c.Threshold(ks[i%len(ks)])
+			if s == nil {
+				b.Fatal("nil scheme")
+			}
+			i++
+		}
+	})
+}

@@ -1,10 +1,12 @@
 package proto
 
 import (
+	"runtime"
 	"sync"
 
 	"adaptiveba/internal/crypto/sig"
 	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/crypto/verifycache"
 	"adaptiveba/internal/types"
 )
 
@@ -12,39 +14,105 @@ import (
 // parameters, the PKI signature scheme, and (k, n)-threshold schemes at
 // whatever thresholds the protocols request. One Crypto instance is shared
 // by all machines of a run; it is safe for concurrent use.
+//
+// Unless disabled with WithoutVerifyCache, Crypto layers the verification
+// fast path (internal/crypto/verifycache) under every machine: Scheme is
+// the cache-wrapped signature scheme, and threshold schemes memoize whole
+// certificates and fan aggregate share checks across cores. Caching is
+// shared across all machines of the run — the point is that n processes
+// verifying the same bytes should pay for one verification, not n.
 type Crypto struct {
 	Params types.Params
 	Scheme sig.Scheme
 
-	mode       threshold.Mode
-	dealerSeed []byte
+	mode        threshold.Mode
+	dealerSeed  []byte
+	cache       *verifycache.Cache
+	certWorkers int
 
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	byK map[int]*threshold.Scheme
+}
+
+// cryptoConfig collects option state for NewCrypto.
+type cryptoConfig struct {
+	disableCache  bool
+	cacheCapacity int
+	certWorkers   int
+}
+
+// CryptoOption configures NewCrypto.
+type CryptoOption func(*cryptoConfig)
+
+// WithoutVerifyCache disables the shared verification fast path: Scheme
+// stays exactly the scheme passed in and certificates are verified
+// serially from scratch every time. Used for A/B runs (-no-verify-cache).
+func WithoutVerifyCache() CryptoOption {
+	return func(c *cryptoConfig) { c.disableCache = true }
+}
+
+// WithVerifyCacheCapacity bounds the cache to at most entries results
+// (default verifycache.DefaultCapacity).
+func WithVerifyCacheCapacity(entries int) CryptoOption {
+	return func(c *cryptoConfig) { c.cacheCapacity = entries }
+}
+
+// WithCertVerifyWorkers bounds the per-certificate share-verification
+// fan-out (default one worker per CPU; 1 means serial).
+func WithCertVerifyWorkers(workers int) CryptoOption {
+	return func(c *cryptoConfig) {
+		if workers > 0 {
+			c.certWorkers = workers
+		}
+	}
 }
 
 // NewCrypto assembles the trusted setup. mode selects the certificate
 // encoding used by all threshold schemes in the run.
-func NewCrypto(params types.Params, scheme sig.Scheme, mode threshold.Mode, dealerSeed []byte) *Crypto {
-	return &Crypto{
-		Params:     params,
-		Scheme:     scheme,
-		mode:       mode,
-		dealerSeed: dealerSeed,
-		byK:        make(map[int]*threshold.Scheme),
+func NewCrypto(params types.Params, scheme sig.Scheme, mode threshold.Mode, dealerSeed []byte, opts ...CryptoOption) *Crypto {
+	cfg := cryptoConfig{certWorkers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&cfg)
 	}
+	c := &Crypto{
+		Params:      params,
+		Scheme:      scheme,
+		mode:        mode,
+		dealerSeed:  dealerSeed,
+		certWorkers: cfg.certWorkers,
+		byK:         make(map[int]*threshold.Scheme),
+	}
+	if !cfg.disableCache {
+		c.cache = verifycache.New(cfg.cacheCapacity)
+		c.Scheme = verifycache.WrapScheme(scheme, c.cache)
+	}
+	return c
 }
 
 // Threshold returns the (k, n)-threshold scheme for threshold k, creating
 // it on first use. It panics on invalid k — thresholds are derived from
 // validated Params, so an invalid k is a programming error.
+//
+// The lookup sits on the per-message path (every certificate combine and
+// verify resolves its scheme here), so the steady state takes only a read
+// lock; the write lock is paid once per distinct threshold.
 func (c *Crypto) Threshold(k int) *threshold.Scheme {
+	c.mu.RLock()
+	s, ok := c.byK[k]
+	c.mu.RUnlock()
+	if ok {
+		return s
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if s, ok := c.byK[k]; ok {
 		return s
 	}
-	s, err := threshold.New(c.Scheme, k, c.mode, c.dealerSeed)
+	opts := []threshold.Option{threshold.WithParallelVerify(c.certWorkers)}
+	if c.cache != nil {
+		opts = append(opts, threshold.WithVerifyCache(c.cache))
+	}
+	s, err := threshold.New(c.Scheme, k, c.mode, c.dealerSeed, opts...)
 	if err != nil {
 		panic("proto: invalid threshold requested: " + err.Error())
 	}
@@ -59,3 +127,15 @@ func (c *Crypto) Signer(id types.ProcessID) *sig.Signer {
 
 // Mode returns the certificate encoding used in this run.
 func (c *Crypto) Mode() threshold.Mode { return c.mode }
+
+// VerifyCacheEnabled reports whether the verification fast path is on.
+func (c *Crypto) VerifyCacheEnabled() bool { return c.cache != nil }
+
+// VerifyCacheStats snapshots the fast-path counters; ok is false when the
+// cache is disabled.
+func (c *Crypto) VerifyCacheStats() (st verifycache.Stats, ok bool) {
+	if c.cache == nil {
+		return verifycache.Stats{}, false
+	}
+	return c.cache.Stats(), true
+}

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"sync"
 	"testing"
 
 	"adaptiveba/internal/crypto/sig"
@@ -241,4 +242,77 @@ func TestCryptoThresholdPanicsOnInvalidK(t *testing.T) {
 		}
 	}()
 	c.Threshold(0)
+}
+
+func TestCryptoVerifyCacheDefaultOn(t *testing.T) {
+	params, _ := types.NewParams(7)
+	ring, _ := sig.NewHMACRing(7, []byte("s"))
+	c := NewCrypto(params, ring, threshold.ModeAggregate, nil)
+	if !c.VerifyCacheEnabled() {
+		t.Fatal("verify cache not enabled by default")
+	}
+	if c.Scheme == sig.Scheme(ring) {
+		t.Error("Scheme not cache-wrapped")
+	}
+	msg := []byte("m")
+	sg, err := c.Scheme.Sign(2, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !c.Scheme.Verify(2, msg, sg) {
+			t.Fatal("valid signature rejected")
+		}
+	}
+	st, ok := c.VerifyCacheStats()
+	if !ok || st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("stats = %+v ok=%v, want 1 miss / 2 hits", st, ok)
+	}
+}
+
+func TestCryptoWithoutVerifyCache(t *testing.T) {
+	params, _ := types.NewParams(7)
+	ring, _ := sig.NewHMACRing(7, []byte("s"))
+	c := NewCrypto(params, ring, threshold.ModeAggregate, nil, WithoutVerifyCache())
+	if c.VerifyCacheEnabled() {
+		t.Fatal("cache enabled despite WithoutVerifyCache")
+	}
+	if c.Scheme != sig.Scheme(ring) {
+		t.Error("Scheme wrapped despite WithoutVerifyCache")
+	}
+	if _, ok := c.VerifyCacheStats(); ok {
+		t.Error("stats reported with cache off")
+	}
+}
+
+// TestCryptoThresholdConcurrentAccess hammers the Threshold lookup from
+// many goroutines (race detector checks the RWMutex discipline) and
+// asserts every caller sees the same cached scheme per k.
+func TestCryptoThresholdConcurrentAccess(t *testing.T) {
+	params, _ := types.NewParams(15)
+	ring, _ := sig.NewHMACRing(15, []byte("s"))
+	c := NewCrypto(params, ring, threshold.ModeCompact, []byte("d"))
+	const goroutines = 16
+	got := make([][]*threshold.Scheme, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = make([]*threshold.Scheme, 0, 400)
+			for i := 0; i < 100; i++ {
+				for k := 1; k <= 4; k++ {
+					got[g] = append(got[g], c.Threshold(k))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range got[g] {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d saw a different scheme instance at %d", g, i)
+			}
+		}
+	}
 }

@@ -322,6 +322,9 @@ func (e *engine) run(maxTicks types.Tick) (*Result, error) {
 	}
 	sort.Slice(res.Honest, func(a, b int) bool { return res.Honest[a] < res.Honest[b] })
 	sort.Slice(res.Corrupted, func(a, b int) bool { return res.Corrupted[a] < res.Corrupted[b] })
+	if st, ok := e.cfg.Crypto.VerifyCacheStats(); ok {
+		e.rec.SetCacheStats(st.Hits, st.Misses, st.InflightWaits)
+	}
 	e.rec.SetTicks(now)
 	res.Report = e.rec.Snapshot()
 	return res, nil
