@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-json experiments examples fuzz cover clean
+.PHONY: all build test test-short test-race vet bench bench-json bench-sim-json experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -32,6 +32,15 @@ bench:
 bench-json:
 	$(GO) run ./cmd/adaptiveba-bench -bench-json BENCH_crypto.json \
 		-protocol bb -ns 21,41 -fs 0,1,2,4 -ed25519 -certmode aggregate
+
+# Regenerate the tick-engine A/B baseline (BENCH_sim.json): the largest
+# EXPERIMENTS sweep run serially (tick-workers=1) and in parallel
+# (tick-workers=GOMAXPROCS), asserting byte-identical CSVs and recording
+# the wall-clock speedup. Speedup reflects the host's core count —
+# regenerate on a multi-core machine for a representative number.
+bench-sim-json:
+	$(GO) run ./cmd/adaptiveba-bench -bench-sim-json BENCH_sim.json \
+		-protocol bb -ns 11,21,41,81,161 -fs 0 -ed25519
 
 # Regenerate every table/figure of the paper (EXPERIMENTS.md data).
 experiments:

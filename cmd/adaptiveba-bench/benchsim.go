@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"adaptiveba/internal/harness"
+)
+
+// simBenchRun is one arm of the serial-vs-parallel tick-engine A/B.
+type simBenchRun struct {
+	TickWorkers int     `json:"tick_workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Runs        int     `json:"runs"`
+	Words       int64   `json:"words"`
+	Messages    int64   `json:"messages"`
+	Ticks       int64   `json:"ticks"`
+}
+
+// simBench is the full A/B report written by -bench-sim-json.
+type simBench struct {
+	Protocol   string `json:"protocol"`
+	Fault      string `json:"fault"`
+	Scheme     string `json:"scheme"`
+	CertMode   string `json:"cert_mode"`
+	Ns         []int  `json:"ns"`
+	Fs         []int  `json:"fs"`
+	// PoolWorkers is pinned to 1 for both arms: run-level parallelism
+	// would confound the measurement, which isolates intra-run tick
+	// stepping (the engine's -tick-workers axis).
+	PoolWorkers int `json:"pool_workers"`
+	GOMAXPROCS  int `json:"gomaxprocs"`
+
+	Serial   simBenchRun `json:"serial"`
+	Parallel simBenchRun `json:"parallel"`
+
+	// SpeedupWall is serial wall time over parallel wall time.
+	SpeedupWall float64 `json:"speedup_wall"`
+	// CSVIdentical asserts the determinism contract: both arms emitted
+	// byte-identical sweep CSVs (worker count changes CPU cost only).
+	CSVIdentical bool `json:"csv_identical"`
+}
+
+// runBenchSimJSON runs the configured sweep twice — tick-workers=1, then
+// tick-workers=GOMAXPROCS — and writes the machine-readable comparison to
+// path. It fails if the two arms' CSVs differ, since that would mean the
+// parallel engine changed the observable schedule.
+func runBenchSimJSON(out io.Writer, path string, base harness.Spec, ns, fs []int) error {
+	scheme := "hmac"
+	if base.Ed25519 {
+		scheme = "ed25519"
+	}
+	pool := harness.Pool{Workers: 1}
+	rep := simBench{
+		Protocol:    string(base.Protocol),
+		Fault:       string(base.Fault),
+		Scheme:      scheme,
+		CertMode:    base.CertMode.String(),
+		Ns:          ns,
+		Fs:          fs,
+		PoolWorkers: 1,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	measure := func(tickWorkers int) (simBenchRun, []byte, error) {
+		spec := base
+		spec.TickWorkers = tickWorkers
+		start := time.Now()
+		outcomes, err := pool.Sweep(spec, ns, fs)
+		wall := time.Since(start)
+		if err != nil {
+			return simBenchRun{}, nil, err
+		}
+		r := simBenchRun{
+			TickWorkers: tickWorkers,
+			WallSeconds: wall.Seconds(),
+			Runs:        len(outcomes),
+		}
+		for i := range outcomes {
+			o := &outcomes[i]
+			r.Words += o.Words
+			r.Messages += o.Messages
+			r.Ticks += int64(o.Ticks)
+		}
+		var buf bytes.Buffer
+		if err := harness.WriteCSV(&buf, outcomes); err != nil {
+			return simBenchRun{}, nil, err
+		}
+		return r, buf.Bytes(), nil
+	}
+
+	// The parallel arm uses GOMAXPROCS workers, but never fewer than 2:
+	// on a single-core host tick-workers=GOMAXPROCS would reduce to the
+	// serial arm and the csv_identical assertion would be vacuous. With 2
+	// workers the parallel scheduling path genuinely runs (goroutines
+	// interleave even on one core); the speedup column then reflects the
+	// host's core count.
+	parallelWorkers := rep.GOMAXPROCS
+	if parallelWorkers < 2 {
+		parallelWorkers = 2
+	}
+	var serialCSV, parallelCSV []byte
+	var err error
+	rep.Serial, serialCSV, err = measure(1)
+	if err != nil {
+		return fmt.Errorf("serial sweep: %w", err)
+	}
+	rep.Parallel, parallelCSV, err = measure(parallelWorkers)
+	if err != nil {
+		return fmt.Errorf("parallel sweep: %w", err)
+	}
+	rep.CSVIdentical = bytes.Equal(serialCSV, parallelCSV)
+	if rep.Parallel.WallSeconds > 0 {
+		rep.SpeedupWall = rep.Serial.WallSeconds / rep.Parallel.WallSeconds
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bench-sim-json: %s %s/%s ns=%v fs=%v\n", rep.Protocol, rep.Scheme, rep.CertMode, ns, fs)
+	fmt.Fprintf(out, "  serial    %.3fs  (tick-workers 1)\n", rep.Serial.WallSeconds)
+	fmt.Fprintf(out, "  parallel  %.3fs  (tick-workers %d)\n", rep.Parallel.WallSeconds, rep.Parallel.TickWorkers)
+	fmt.Fprintf(out, "  speedup   %.2fx  csv_identical=%v\n", rep.SpeedupWall, rep.CSVIdentical)
+	fmt.Fprintf(out, "  wrote %s\n", path)
+	if !rep.CSVIdentical {
+		return fmt.Errorf("determinism violation: serial and parallel sweeps produced different CSVs")
+	}
+	return nil
+}

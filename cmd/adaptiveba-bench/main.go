@@ -43,7 +43,9 @@ func run(args []string, out io.Writer) error {
 		ed25519  = fs.Bool("ed25519", false, "sweep with real Ed25519 signatures")
 		certmode = fs.String("certmode", "compact", "sweep threshold certificate encoding: compact | aggregate")
 		nocache  = fs.Bool("no-verify-cache", false, "sweep with the verification fast path disabled")
+		tickW    = fs.Int("tick-workers", 0, "per-tick worker count inside one run (0 = one per CPU, 1 = serial); any value yields identical output")
 		benchOut = fs.String("bench-json", "", "run the sweep cached AND uncached, write a machine-readable A/B report to this path")
+		benchSim = fs.String("bench-sim-json", "", "run the sweep serial AND parallel (tick workers 1 vs GOMAXPROCS), write a machine-readable A/B report to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,11 +65,29 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-fs: %w", err)
 		}
 		return runBenchJSON(out, *benchOut, pool, harness.Spec{
-			Protocol: harness.Protocol(*protocol),
-			Fault:    harness.Fault(*fault),
-			Ed25519:  *ed25519,
-			CertMode: mode,
-			CountOps: true,
+			Protocol:    harness.Protocol(*protocol),
+			Fault:       harness.Fault(*fault),
+			Ed25519:     *ed25519,
+			CertMode:    mode,
+			CountOps:    true,
+			TickWorkers: *tickW,
+		}, ns, fvals)
+	}
+	if *benchSim != "" {
+		ns, err := parseInts(*nsFlag)
+		if err != nil {
+			return fmt.Errorf("-ns: %w", err)
+		}
+		fvals, err := parseInts(*fsFlag)
+		if err != nil {
+			return fmt.Errorf("-fs: %w", err)
+		}
+		return runBenchSimJSON(out, *benchSim, harness.Spec{
+			Protocol:      harness.Protocol(*protocol),
+			Fault:         harness.Fault(*fault),
+			Ed25519:       *ed25519,
+			CertMode:      mode,
+			NoVerifyCache: *nocache,
 		}, ns, fvals)
 	}
 	switch {
@@ -104,6 +124,7 @@ func run(args []string, out io.Writer) error {
 			Ed25519:       *ed25519,
 			CertMode:      mode,
 			NoVerifyCache: *nocache,
+			TickWorkers:   *tickW,
 		}, ns, fvals)
 		if err != nil {
 			return err

@@ -124,6 +124,58 @@ func TestBenchJSON(t *testing.T) {
 	}
 }
 
+func TestBenchSimJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench_sim.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-bench-sim-json", path, "-protocol", "bb",
+		"-ns", "5,9", "-fs", "0,1",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "csv_identical=true") {
+		t.Errorf("summary missing determinism check:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep simBench
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if !rep.CSVIdentical {
+		t.Error("serial and parallel CSVs differ")
+	}
+	if rep.Serial.TickWorkers != 1 || rep.Parallel.TickWorkers < 2 {
+		t.Errorf("arm worker counts wrong: serial=%d parallel=%d", rep.Serial.TickWorkers, rep.Parallel.TickWorkers)
+	}
+	if rep.Serial.Words != rep.Parallel.Words || rep.Serial.Messages != rep.Parallel.Messages || rep.Serial.Ticks != rep.Parallel.Ticks {
+		t.Errorf("measurements differ across tick-worker counts: %+v vs %+v", rep.Serial, rep.Parallel)
+	}
+	if rep.PoolWorkers != 1 {
+		t.Errorf("pool workers not pinned to 1: %d", rep.PoolWorkers)
+	}
+}
+
+func TestSweepTickWorkersMatchesDefault(t *testing.T) {
+	argsFor := func(extra ...string) []string {
+		return append([]string{"-sweep", "-protocol", "bb", "-ns", "5,9", "-fs", "0,1", "-csv"}, extra...)
+	}
+	var serial, parallel bytes.Buffer
+	if err := run(argsFor("-tick-workers", "1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(argsFor("-tick-workers", "8"), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("-tick-workers changed the sweep CSV:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
 func TestSweepNoVerifyCacheMatchesDefault(t *testing.T) {
 	argsFor := func(extra ...string) []string {
 		return append([]string{"-sweep", "-protocol", "bb", "-ns", "5,9", "-fs", "0,1", "-certmode", "aggregate", "-csv"}, extra...)

@@ -56,6 +56,7 @@ func run(args []string, out io.Writer) error {
 		layers   = fs.Bool("layers", true, "print the per-layer word breakdown")
 		reps     = fs.Int("reps", 1, "repetitions with derived seeds (> 1 prints a min/median/max summary)")
 		workers  = fs.Int("parallel", 0, "worker count for -reps runs (0 = one per CPU, 1 = sequential)")
+		tickW    = fs.Int("tick-workers", 0, "per-tick worker count inside one run (0 = one per CPU, 1 = serial); any value yields identical output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +77,7 @@ func run(args []string, out io.Writer) error {
 		Ed25519:       *ed25519,
 		CertMode:      mode,
 		NoVerifyCache: *nocache,
+		TickWorkers:   *tickW,
 	}
 	if *trace {
 		spec.Trace = out

@@ -148,6 +148,10 @@ type Spec struct {
 	// CertWorkers bounds the per-certificate share-verification fan-out
 	// (0 = one worker per CPU, 1 = serial).
 	CertWorkers int
+	// TickWorkers bounds the simulator's per-tick fan-out of honest
+	// machine stepping (0 = one worker per CPU, 1 = serial). Output is
+	// byte-identical at any value; see sim.Config.Workers.
+	TickWorkers int
 	// WBAPhases / BBPhases override phase counts (ablations).
 	WBAPhases int
 	BBPhases  int
@@ -469,11 +473,11 @@ func (r *runner) execute() (*Outcome, error) {
 		dolevstrong.RegisterWire(reg)
 		echobb.RegisterWire(reg)
 		sizeOf = func(p proto.Payload) int {
-			buf, err := reg.EncodePayload(p)
+			n, err := reg.SizeOf(p)
 			if err != nil {
 				return 0
 			}
-			return len(buf)
+			return n
 		}
 	}
 	res, err := sim.Run(sim.Config{
@@ -487,6 +491,7 @@ func (r *runner) execute() (*Outcome, error) {
 		SizeOf:      sizeOf,
 		ShuffleSeed: r.spec.ShuffleSeed,
 		OnSend:      onSend,
+		Workers:     r.spec.TickWorkers,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestTickWorkersDeterminism asserts the engine's concurrency contract at
+// the level users observe it: CSV rows and message traces are
+// byte-identical for every tick-worker count, across the EXPERIMENTS-grid
+// protocols, with and without delivery shuffling, with and without an
+// adversary (whose rushing view — the full tick's honest traffic in ID
+// order — must survive the parallel fan-out).
+func TestTickWorkersDeterminism(t *testing.T) {
+	type cell struct {
+		protocol Protocol
+		n, f     int
+		fault    Fault
+		shuffle  int64
+	}
+	cells := []cell{
+		{protocol: ProtocolBB, n: 9, f: 0},
+		{protocol: ProtocolBB, n: 9, f: 2, fault: FaultSpam},
+		{protocol: ProtocolBB, n: 9, f: 2, fault: FaultSpam, shuffle: 7},
+		{protocol: ProtocolWBA, n: 9, f: 0, shuffle: 3},
+		{protocol: ProtocolWBA, n: 9, f: 2, fault: FaultReplay},
+		{protocol: ProtocolStrongBA, n: 9, f: 2, fault: FaultCrash, shuffle: 5},
+		{protocol: ProtocolDolevStrong, n: 7, f: 2, fault: FaultSpam, shuffle: 9},
+		{protocol: ProtocolBBViaBA, n: 9, f: 1, fault: FaultStagger},
+	}
+	if testing.Short() {
+		cells = cells[:3]
+	}
+	run := func(c cell, tickWorkers int) (csv, trace []byte) {
+		t.Helper()
+		var tr bytes.Buffer
+		spec := Spec{
+			Protocol:     c.protocol,
+			N:            c.n,
+			F:            c.f,
+			Fault:        c.fault,
+			ShuffleSeed:  c.shuffle,
+			MeasureBytes: true,
+			TickWorkers:  tickWorkers,
+			Trace:        &tr,
+		}
+		o, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, []Outcome{*o}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), tr.Bytes()
+	}
+	for _, c := range cells {
+		name := fmt.Sprintf("%s-n%d-f%d-%s-shuffle%d", c.protocol, c.n, c.f, c.fault, c.shuffle)
+		t.Run(name, func(t *testing.T) {
+			wantCSV, wantTrace := run(c, 1)
+			for _, w := range []int{2, 8} {
+				gotCSV, gotTrace := run(c, w)
+				if !bytes.Equal(gotCSV, wantCSV) {
+					t.Errorf("tick-workers=%d CSV diverged from serial:\nserial: %s\ngot:    %s", w, wantCSV, gotCSV)
+				}
+				if !bytes.Equal(gotTrace, wantTrace) {
+					t.Errorf("tick-workers=%d trace diverged from serial (%d vs %d bytes)", w, len(gotTrace), len(wantTrace))
+				}
+			}
+		})
+	}
+}

@@ -47,7 +47,10 @@ type SendEvent struct {
 // Recorder accumulates events. It is safe for concurrent use: the
 // scalar operation counters are atomics (they are the hottest path —
 // every certificate combine/verify in a run lands here), while the
-// map-touching send path shares one mutex.
+// map-touching send path shares one mutex. The simulator's parallel tick
+// engine keeps that mutex contention-free by construction: it records all
+// of a tick's sends post-join on the engine goroutine, so concurrent
+// RecordSend only occurs when several runs share one recorder.
 type Recorder struct {
 	mu sync.Mutex
 
@@ -55,6 +58,14 @@ type Recorder struct {
 	byzantine Stats
 	byLayer   map[string]*Stats
 	byProc    map[types.ProcessID]*Stats
+
+	// Last-used memo for the send path: consecutive sends overwhelmingly
+	// share a layer (broadcasts) and often a sender, so remembering the
+	// last *Stats of each skips two map lookups per message. Guarded by mu.
+	lastLayer      string
+	lastLayerStats *Stats
+	lastProc       types.ProcessID
+	lastProcStats  *Stats
 
 	combines     atomic.Int64 // threshold-certificate combine operations
 	certVerifies atomic.Int64
@@ -99,16 +110,24 @@ func (r *Recorder) RecordSend(ev SendEvent) {
 	if layer == "" {
 		layer = "(root)"
 	}
-	ls, ok := r.byLayer[layer]
-	if !ok {
-		ls = &Stats{}
-		r.byLayer[layer] = ls
+	ls := r.lastLayerStats
+	if ls == nil || r.lastLayer != layer {
+		var ok bool
+		if ls, ok = r.byLayer[layer]; !ok {
+			ls = &Stats{}
+			r.byLayer[layer] = ls
+		}
+		r.lastLayer, r.lastLayerStats = layer, ls
 	}
 	ls.add(s)
-	ps, ok := r.byProc[ev.From]
-	if !ok {
-		ps = &Stats{}
-		r.byProc[ev.From] = ps
+	ps := r.lastProcStats
+	if ps == nil || r.lastProc != ev.From {
+		var ok bool
+		if ps, ok = r.byProc[ev.From]; !ok {
+			ps = &Stats{}
+			r.byProc[ev.From] = ps
+		}
+		r.lastProc, r.lastProcStats = ev.From, ps
 	}
 	ps.add(s)
 }

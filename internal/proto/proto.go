@@ -53,12 +53,18 @@ type Outgoing struct {
 // Machine is a deterministic, single-threaded protocol instance for one
 // process. The runtime calls Begin exactly once, then Tick once per tick
 // in increasing tick order. Machines never block and never spawn
-// goroutines; all state transitions happen inside these calls.
+// goroutines; all state transitions happen inside these calls. Distinct
+// machines may be stepped concurrently (they share no state), but no
+// single machine ever sees overlapping calls.
 type Machine interface {
 	// Begin starts the machine at tick now and returns its initial sends.
 	Begin(now types.Tick) []Outgoing
 	// Tick delivers the messages that arrived at tick now and returns the
-	// sends the machine performs at this tick.
+	// sends the machine performs at this tick. The inbox slice is only
+	// valid for the duration of the call — the runtime reuses its backing
+	// array; keep the Incoming values, not the slice. Symmetrically, the
+	// runtime copies the returned sends before the next Tick, so machines
+	// may reuse their output slice across ticks.
 	Tick(now types.Tick, inbox []Incoming) []Outgoing
 	// Output returns the machine's decision, if reached. For agreement
 	// protocols the value may legitimately be types.Bottom with ok=true.

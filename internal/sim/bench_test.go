@@ -46,6 +46,133 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSimTick isolates the engine's per-tick overhead: quiet
+// machines precompute their broadcast once, so allocations measured here
+// are the engine's own (inbox buckets, traffic slices, shuffle sources,
+// size metering) — the hot path this PR makes allocation-free. The
+// committed ceiling for the serial path lives in TestSimTickAllocCeiling.
+func BenchmarkSimTick(b *testing.B) {
+	for _, n := range []int{11, 41} {
+		for _, workers := range []int{1, 0} {
+			name := fmt.Sprintf("n=%d/workers=serial", n)
+			if workers != 1 {
+				name = fmt.Sprintf("n=%d/workers=gomaxprocs", n)
+			}
+			b.Run(name, func(b *testing.B) {
+				params, err := types.NewParams(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ring, err := sig.NewHMACRing(n, []byte("bench"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				crypto := proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("d"))
+				const horizon = 20
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := Run(Config{
+						Params: params,
+						Crypto: crypto,
+						Factory: func(id types.ProcessID) proto.Machine {
+							return newQuietChatter(params, horizon)
+						},
+						MaxTicks:    64,
+						ShuffleSeed: 7,
+						Workers:     workers,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.TimedOut {
+						b.Fatal("timed out")
+					}
+				}
+				b.ReportMetric(float64(horizon*n*n), "msgs/run")
+			})
+		}
+	}
+}
+
+// TestSimTickAllocCeiling is the CI allocation guard for the serial hot
+// path. Setup (machine construction, engine scratch, recorder stats,
+// first-tick bucket growth) legitimately allocates O(n log n) per Run, so
+// the guard differences two horizons: the extra ticks of the longer run
+// must be allocation-free — inbox buckets, traffic buffers, and shuffle
+// sources are reused per-engine scratch. Before this engine existed,
+// every extra tick cost >n allocations (fresh inboxes plus a rand.New per
+// shuffled inbox).
+func TestSimTickAllocCeiling(t *testing.T) {
+	const n = 41
+	params, err := types.NewParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := sig.NewHMACRing(n, []byte("bench"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crypto := proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("d"))
+	measure := func(horizon types.Tick) float64 {
+		return testing.AllocsPerRun(10, func() {
+			res, err := Run(Config{
+				Params: params,
+				Crypto: crypto,
+				Factory: func(id types.ProcessID) proto.Machine {
+					return newQuietChatter(params, horizon)
+				},
+				MaxTicks:    128,
+				ShuffleSeed: 7,
+				Workers:     1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TimedOut {
+				t.Fatal("timed out")
+			}
+		})
+	}
+	short, long := measure(5), measure(45)
+	perTick := (long - short) / 40
+	// Committed ceilings: the steady-state tick loop stays allocation-free
+	// (< 2/tick leaves room for measurement noise; a real regression costs
+	// >= n per tick), and whole-Run setup stays within ~12 allocations per
+	// machine.
+	if perTick >= 2 {
+		t.Errorf("steady-state tick loop allocates %.2f per tick (short=%.0f long=%.0f), want < 2", perTick, short, long)
+	}
+	const runCeiling = 12*n + 120
+	if long > runCeiling {
+		t.Errorf("Run allocates %.0f, above committed ceiling %d", long, runCeiling)
+	}
+}
+
+// quietChatter broadcasts the same precomputed sends every tick, so the
+// machine itself allocates only at construction.
+type quietChatter struct {
+	outs    []proto.Outgoing
+	horizon types.Tick
+	now     types.Tick
+}
+
+func newQuietChatter(params types.Params, horizon types.Tick) *quietChatter {
+	return &quietChatter{outs: proto.Broadcast(params, "", ping{}), horizon: horizon}
+}
+
+func (c *quietChatter) Begin(now types.Tick) []proto.Outgoing { return c.outs }
+
+func (c *quietChatter) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing {
+	c.now = now
+	if now >= c.horizon {
+		return nil
+	}
+	return c.outs
+}
+
+func (c *quietChatter) Output() (types.Value, bool) { return nil, c.now >= c.horizon }
+func (c *quietChatter) Done() bool                  { return c.now >= c.horizon }
+
 // chatter broadcasts one payload per tick until its horizon.
 type chatter struct {
 	params  types.Params

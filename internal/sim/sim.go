@@ -12,6 +12,18 @@
 //
 // Every honest message send is charged to a metrics.Recorder using the
 // paper's word-cost model; self-addressed deliveries are free.
+//
+// # Concurrency model
+//
+// Within one tick, honest machines share no mutable state (they interact
+// only through messages, which the engine delivers between ticks), so the
+// engine fans their Begin/Tick calls out across a bounded worker pool
+// (Config.Workers). Each machine's outputs land in a per-machine slot and
+// are joined in ID order afterwards, so the observable schedule — honest
+// traffic order, the rushing adversary's view, metrics, traces — is
+// byte-identical at every worker count, including 1, which reduces to the
+// strictly serial engine. All engine-side observation (adversary calls,
+// recording, tracing, OnSend) happens post-join on the engine goroutine.
 package sim
 
 import (
@@ -19,7 +31,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"adaptiveba/internal/metrics"
 	"adaptiveba/internal/proto"
@@ -57,12 +72,16 @@ type Adversary interface {
 	// against Params (at most t distinct processes).
 	Corruptions() []Corruption
 	// Observe delivers the messages addressed to corrupted process `to`
-	// at tick now (the adversary's inbox).
+	// at tick now (the adversary's inbox). The slice is reused by the
+	// engine after the call returns; implementations that keep messages
+	// must copy the elements (not retain the slice).
 	Observe(now types.Tick, to types.ProcessID, inbox []proto.Incoming)
 	// Act runs after all honest machines produced their tick-now sends
 	// (rushing adversary: honestTraffic is this tick's honest output).
 	// The returned messages must originate from corrupted identities and
-	// are delivered at now+1, like all other traffic.
+	// are delivered at now+1, like all other traffic. honestTraffic is
+	// reused by the engine after the call returns; copy elements to keep
+	// them.
 	Act(now types.Tick, honestTraffic []Message) []Message
 	// Quiescent reports that the adversary has no future actions pending;
 	// the engine only halts early when honest machines are done, no
@@ -82,6 +101,8 @@ type Config struct {
 	Trace     io.Writer         // optional message trace
 	// SizeOf, if set, reports each payload's encoded byte size for the
 	// recorder's byte counters (the harness wires the wire registry in).
+	// The engine memoizes it per boxed payload instance, so an n-way
+	// broadcast of one payload is measured once, not n times.
 	SizeOf func(proto.Payload) int
 	// ShuffleSeed, if non-zero, deterministically permutes every inbox
 	// before delivery: within one tick the adversary controls arrival
@@ -91,6 +112,13 @@ type Config struct {
 	// OnSend, if set, observes every message (honest and Byzantine) as it
 	// is sent, with the sending tick — structured tracing for tools.
 	OnSend func(now types.Tick, m Message, honest bool)
+	// Workers bounds the per-tick fan-out of honest machine stepping:
+	// 0 derives one worker per CPU (GOMAXPROCS), 1 steps strictly
+	// serially in the engine's goroutine. Honest machines share no
+	// mutable state, so any worker count produces a byte-identical
+	// observable schedule (traffic order, adversary view, metrics,
+	// traces); the knob trades cores for wall clock only.
+	Workers int
 }
 
 // DefaultMaxTicks bounds runs whose configuration forgot a limit.
@@ -195,13 +223,27 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
 	e := &engine{
 		cfg:       cfg,
 		rec:       rec,
 		machines:  make([]proto.Machine, n),
 		corrupted: make([]bool, n),
 		corruptAt: corruptAt,
-		inflight:  make(map[types.Tick][]Message),
+		workers:   workers,
+		inboxes:   make([][]proto.Incoming, n),
+		outs:      make([][]proto.Outgoing, n),
+		shufflers: make([]*shuffler, workers),
+	}
+	for w := range e.shufflers {
+		e.shufflers[w] = newShuffler()
 	}
 	for i := 0; i < n; i++ {
 		id := types.ProcessID(i)
@@ -221,7 +263,20 @@ type engine struct {
 	machines  []proto.Machine
 	corrupted []bool
 	corruptAt map[types.ProcessID]types.Tick
-	inflight  map[types.Tick][]Message
+	workers   int
+
+	// pending holds the in-flight traffic due at the current tick. Every
+	// message is delivered exactly one tick after it is sent, so a single
+	// buffer suffices: it is drained into the inbox buckets at tick start
+	// and its backing array is immediately recycled for the tick's new
+	// sends.
+	pending []Message
+
+	// Per-tick scratch, sized once from n and reused for the whole run so
+	// the steady-state tick loop allocates nothing.
+	inboxes   [][]proto.Incoming // delivery buckets, reset to [:0] each tick
+	outs      [][]proto.Outgoing // per-machine step outputs, joined in ID order
+	shufflers []*shuffler        // one reusable shuffle source per worker
 }
 
 func (e *engine) run(maxTicks types.Tick) (*Result, error) {
@@ -232,52 +287,50 @@ func (e *engine) run(maxTicks types.Tick) (*Result, error) {
 	for now = 0; now <= maxTicks; now++ {
 		e.applyCorruptions(now)
 
-		delivered := e.inflight[now]
-		delete(e.inflight, now)
-		inboxes := make([][]proto.Incoming, n)
-		for _, m := range delivered {
-			inboxes[m.To] = append(inboxes[m.To], proto.Incoming{
+		// Deliver: bucket the in-flight traffic into the reused inboxes.
+		for i := range e.inboxes {
+			e.inboxes[i] = e.inboxes[i][:0]
+		}
+		for _, m := range e.pending {
+			e.inboxes[m.To] = append(e.inboxes[m.To], proto.Incoming{
 				From:    m.From,
 				Session: m.Session,
 				Payload: m.Payload,
 			})
 		}
-		if e.cfg.ShuffleSeed != 0 {
-			for i := range inboxes {
-				e.shuffle(now, types.ProcessID(i), inboxes[i])
-			}
-		}
 
-		// Honest machines act in ID order for determinism.
-		var honestTraffic []Message
+		// Step: shuffle inboxes and run the honest machines, fanned out
+		// across the worker pool; outputs land per-machine in e.outs.
+		e.step(now)
+
+		// Join: concatenate honest outputs in ID order (the canonical
+		// honest traffic order) into the recycled pending buffer, and
+		// validate recipients in the same order the serial engine did.
+		traffic := e.pending[:0]
 		for i := 0; i < n; i++ {
 			if e.corrupted[i] {
 				continue
 			}
 			id := types.ProcessID(i)
-			var outs []proto.Outgoing
-			if now == 0 {
-				outs = e.machines[i].Begin(0)
-			} else {
-				outs = e.machines[i].Tick(now, inboxes[i])
-			}
-			for _, o := range outs {
+			for _, o := range e.outs[i] {
 				if err := e.cfg.Params.CheckProcess(o.To); err != nil {
 					return nil, fmt.Errorf("sim: %v sent to invalid recipient: %w", id, err)
 				}
-				honestTraffic = append(honestTraffic, Message{
+				traffic = append(traffic, Message{
 					From: id, To: o.To, Session: o.Session, Payload: o.Payload,
 				})
 			}
+			e.outs[i] = nil
 		}
+		honestTraffic := traffic
 
 		// Adversary observes corrupted inboxes, then acts with full
 		// knowledge of this tick's honest traffic (rushing).
 		var advTraffic []Message
 		if e.cfg.Adversary != nil {
 			for i := 0; i < n; i++ {
-				if e.corrupted[i] && len(inboxes[i]) > 0 {
-					e.cfg.Adversary.Observe(now, types.ProcessID(i), inboxes[i])
+				if e.corrupted[i] && len(e.inboxes[i]) > 0 {
+					e.cfg.Adversary.Observe(now, types.ProcessID(i), e.inboxes[i])
 				}
 			}
 			advTraffic = e.cfg.Adversary.Act(now, honestTraffic)
@@ -293,10 +346,7 @@ func (e *engine) run(maxTicks types.Tick) (*Result, error) {
 
 		e.record(honestTraffic, true, now)
 		e.record(advTraffic, false, now)
-		if len(honestTraffic)+len(advTraffic) > 0 {
-			e.inflight[now+1] = append(e.inflight[now+1], honestTraffic...)
-			e.inflight[now+1] = append(e.inflight[now+1], advTraffic...)
-		}
+		e.pending = append(traffic, advTraffic...)
 
 		if e.quiesced(now) {
 			timedOut = false
@@ -309,6 +359,8 @@ func (e *engine) run(maxTicks types.Tick) (*Result, error) {
 		Ticks:     now,
 		TimedOut:  timedOut,
 	}
+	// Honest and Corrupted are appended in ascending ID order by
+	// construction of this loop; no sort is needed.
 	for i := 0; i < n; i++ {
 		id := types.ProcessID(i)
 		if e.corrupted[i] {
@@ -320,8 +372,6 @@ func (e *engine) run(maxTicks types.Tick) (*Result, error) {
 			res.Decisions[id] = v
 		}
 	}
-	sort.Slice(res.Honest, func(a, b int) bool { return res.Honest[a] < res.Honest[b] })
-	sort.Slice(res.Corrupted, func(a, b int) bool { return res.Corrupted[a] < res.Corrupted[b] })
 	if st, ok := e.cfg.Crypto.VerifyCacheStats(); ok {
 		e.rec.SetCacheStats(st.Hits, st.Misses, st.InflightWaits)
 	}
@@ -330,13 +380,86 @@ func (e *engine) run(maxTicks types.Tick) (*Result, error) {
 	return res, nil
 }
 
-// shuffle deterministically permutes one inbox from (seed, tick, id).
-func (e *engine) shuffle(now types.Tick, id types.ProcessID, inbox []proto.Incoming) {
+// step shuffles every inbox and runs each honest machine's Begin/Tick,
+// filling e.outs. With one worker it runs serially in the engine's
+// goroutine (the exact pre-parallel path); otherwise the machine indices
+// are work-stolen by e.workers goroutines. Machine panics are re-raised
+// on the engine goroutine.
+func (e *engine) step(now types.Tick) {
+	n := e.cfg.Params.N
+	if e.workers == 1 {
+		for i := 0; i < n; i++ {
+			e.stepOne(now, i, e.shufflers[0])
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func(sh *shuffler) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				e.stepOne(now, i, sh)
+			}
+		}(e.shufflers[w])
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// stepOne shuffles machine i's inbox and, if i is honest, steps it. The
+// shuffle covers corrupted inboxes too: the adversary observes them in
+// permuted order, exactly as the serial engine delivered them.
+func (e *engine) stepOne(now types.Tick, i int, sh *shuffler) {
+	if e.cfg.ShuffleSeed != 0 {
+		sh.shuffle(e.cfg.ShuffleSeed, now, types.ProcessID(i), e.inboxes[i])
+	}
+	if e.corrupted[i] {
+		return
+	}
+	if now == 0 {
+		e.outs[i] = e.machines[i].Begin(0)
+	} else {
+		e.outs[i] = e.machines[i].Tick(now, e.inboxes[i])
+	}
+}
+
+// shuffler deterministically permutes inboxes from (seed, tick, id). The
+// source is allocated once and re-seeded per inbox, which yields the
+// exact permutation rand.New(rand.NewSource(k)) would — without the
+// per-inbox generator allocation the pre-parallel engine paid.
+type shuffler struct {
+	src rand.Source
+	rng *rand.Rand
+}
+
+func newShuffler() *shuffler {
+	src := rand.NewSource(0)
+	return &shuffler{src: src, rng: rand.New(src)}
+}
+
+func (s *shuffler) shuffle(seed int64, now types.Tick, id types.ProcessID, inbox []proto.Incoming) {
 	if len(inbox) < 2 {
 		return
 	}
-	rng := rand.New(rand.NewSource(e.cfg.ShuffleSeed ^ int64(now)*2654435761 ^ int64(id)<<17))
-	rng.Shuffle(len(inbox), func(a, b int) {
+	s.src.Seed(seed ^ int64(now)*2654435761 ^ int64(id)<<17)
+	s.rng.Shuffle(len(inbox), func(a, b int) {
 		inbox[a], inbox[b] = inbox[b], inbox[a]
 	})
 }
@@ -351,22 +474,47 @@ func (e *engine) applyCorruptions(now types.Tick) {
 	}
 }
 
+// payloadKey identifies one boxed payload instance: the interface's type
+// and data words, read without dereferencing. Keys are only ever compared
+// between payloads simultaneously reachable from the same traffic slice,
+// so address reuse cannot alias two distinct live payloads. Interface
+// equality (==) would be wrong here: payloads legitimately contain slices
+// (values, signatures), which makes them non-comparable.
+type payloadKey [2]uintptr
+
+func keyOf(p proto.Payload) payloadKey {
+	return *(*payloadKey)(unsafe.Pointer(&p))
+}
+
 // record charges messages to the recorder. Self-addressed messages are
-// local deliveries, not network traffic, and are skipped.
+// local deliveries, not network traffic, and are skipped. The per-message
+// cost (words, signatures, encoded size) is memoized per boxed payload
+// instance: a broadcast fans one payload out to n recipients, and its
+// cost — in particular the SizeOf encoding walk — is computed once.
 func (e *engine) record(msgs []Message, honest bool, now types.Tick) {
+	var (
+		last       payloadKey
+		haveMemo   bool
+		words      = 1
+		sigs, size int
+	)
 	for _, m := range msgs {
 		if m.From == m.To {
 			continue
 		}
-		words, sigs, size := 1, 0, 0
-		if m.Payload != nil {
+		if m.Payload == nil {
+			words, sigs, size = 1, 0, 0
+			haveMemo = false
+		} else if k := keyOf(m.Payload); !haveMemo || k != last {
 			words = m.Payload.Words()
+			sigs, size = 0, 0
 			if sc, ok := m.Payload.(proto.SigCarrier); ok {
 				sigs = sc.SigCount()
 			}
 			if e.cfg.SizeOf != nil {
 				size = e.cfg.SizeOf(m.Payload)
 			}
+			last, haveMemo = k, true
 		}
 		e.rec.RecordSend(metrics.SendEvent{
 			From:   m.From,
@@ -400,7 +548,7 @@ func layerOf(session string) string {
 
 // quiesced reports whether the run can stop after tick now.
 func (e *engine) quiesced(now types.Tick) bool {
-	if len(e.inflight) > 0 {
+	if len(e.pending) > 0 {
 		return false
 	}
 	for id, at := range e.corruptAt {

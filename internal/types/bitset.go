@@ -49,6 +49,13 @@ func (b *BitSet) Words() []uint64 {
 	return w
 }
 
+// NumWords returns the number of raw 64-bit words.
+func (b *BitSet) NumWords() int { return len(b.words) }
+
+// Word returns raw word i without copying; pair with NumWords on
+// allocation-sensitive encoding paths.
+func (b *BitSet) Word(i int) uint64 { return b.words[i] }
+
 // Add inserts id into the set. Out-of-range IDs are ignored and reported.
 func (b *BitSet) Add(id ProcessID) bool {
 	if id < 0 || int(id) >= b.n {

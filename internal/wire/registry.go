@@ -90,6 +90,35 @@ func (r *Registry) EncodePayload(p proto.Payload) ([]byte, error) {
 	return w.Bytes(), nil
 }
 
+// countingPool recycles CountingWriters so SizeOf stays allocation-free
+// and safe under concurrent use.
+var countingPool = sync.Pool{
+	New: func() any { return NewCountingWriter() },
+}
+
+// SizeOf reports the framed encoded size of p — exactly
+// len(EncodePayload(p)) — without materializing the encoding: the codec
+// runs against a pooled counting writer, so the hot byte-metering path
+// (the simulator charges every send) performs zero allocations.
+func (r *Registry) SizeOf(p proto.Payload) (int, error) {
+	r.mu.RLock()
+	c, ok := r.codecs[p.Type()]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownType, p.Type())
+	}
+	cw := countingPool.Get().(*CountingWriter)
+	cw.Reset()
+	cw.PutString(p.Type())
+	err := c.Encode(&cw.Writer, p)
+	n := cw.Size()
+	countingPool.Put(cw)
+	if err != nil {
+		return 0, fmt.Errorf("wire: size %q: %w", p.Type(), err)
+	}
+	return n, nil
+}
+
 // DecodePayload parses a frame produced by EncodePayload.
 func (r *Registry) DecodePayload(b []byte) (proto.Payload, error) {
 	rd := NewReader(b)

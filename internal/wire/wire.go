@@ -28,22 +28,37 @@ var (
 // from hostile length prefixes.
 const MaxChunk = 1 << 20
 
-// Writer accumulates an encoded buffer.
+// Writer accumulates an encoded buffer. A Writer in counting mode (see
+// CountingWriter) only measures: every Put advances a byte counter and the
+// buffer never grows, so codecs written against *Writer can size an
+// encoding without materializing it.
 type Writer struct {
-	buf []byte
+	buf      []byte
+	count    int  // bytes "written" in counting mode
+	counting bool // measure only; buf stays nil
 }
 
 // NewWriter returns an empty writer.
 func NewWriter() *Writer { return &Writer{} }
 
-// Bytes returns the encoded buffer.
+// Bytes returns the encoded buffer (nil for a counting writer, which
+// never materializes one).
 func (w *Writer) Bytes() []byte { return w.buf }
 
 // Len returns the number of bytes written so far.
-func (w *Writer) Len() int { return len(w.buf) }
+func (w *Writer) Len() int {
+	if w.counting {
+		return w.count
+	}
+	return len(w.buf)
+}
 
 // PutUint64 appends a fixed 8-byte big-endian integer.
 func (w *Writer) PutUint64(v uint64) {
+	if w.counting {
+		w.count += 8
+		return
+	}
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], v)
 	w.buf = append(w.buf, b[:]...)
@@ -53,7 +68,13 @@ func (w *Writer) PutUint64(v uint64) {
 func (w *Writer) PutInt(v int) { w.PutUint64(uint64(int64(v))) }
 
 // PutByte appends one byte.
-func (w *Writer) PutByte(b byte) { w.buf = append(w.buf, b) }
+func (w *Writer) PutByte(b byte) {
+	if w.counting {
+		w.count++
+		return
+	}
+	w.buf = append(w.buf, b)
+}
 
 // PutBool appends a boolean as one byte.
 func (w *Writer) PutBool(b bool) {
@@ -67,11 +88,21 @@ func (w *Writer) PutBool(b bool) {
 // PutBytes appends a length-prefixed byte string.
 func (w *Writer) PutBytes(b []byte) {
 	w.PutUint64(uint64(len(b)))
+	if w.counting {
+		w.count += len(b)
+		return
+	}
 	w.buf = append(w.buf, b...)
 }
 
 // PutString appends a length-prefixed string.
-func (w *Writer) PutString(s string) { w.PutBytes([]byte(s)) }
+func (w *Writer) PutString(s string) {
+	if w.counting {
+		w.count += 8 + len(s)
+		return
+	}
+	w.PutBytes([]byte(s))
+}
 
 // PutValue appends a protocol value (⊥ encodes as the empty string).
 func (w *Writer) PutValue(v types.Value) { w.PutBytes(v) }
@@ -85,10 +116,10 @@ func (w *Writer) PutProcess(id types.ProcessID) { w.PutInt(int(id)) }
 // PutBitSet appends a bitset (capacity + words).
 func (w *Writer) PutBitSet(b *types.BitSet) {
 	w.PutInt(b.Cap())
-	words := b.Words()
-	w.PutInt(len(words))
-	for _, x := range words {
-		w.PutUint64(x)
+	n := b.NumWords()
+	w.PutInt(n)
+	for i := 0; i < n; i++ {
+		w.PutUint64(b.Word(i))
 	}
 }
 
@@ -107,6 +138,25 @@ func (w *Writer) PutCert(c *threshold.Cert) {
 	}
 	w.PutBytes(c.Tag)
 }
+
+// CountingWriter measures encodings without materializing them: it is a
+// Writer permanently in counting mode, so any codec written against
+// *Writer runs unchanged while every Put costs an integer add — no buffer
+// ever grows. Use it (via Registry.SizeOf) on hot byte-metering paths.
+type CountingWriter struct {
+	Writer
+}
+
+// NewCountingWriter returns a writer that counts and never allocates.
+func NewCountingWriter() *CountingWriter {
+	return &CountingWriter{Writer{counting: true}}
+}
+
+// Size returns the number of bytes the encoding would occupy.
+func (c *CountingWriter) Size() int { return c.count }
+
+// Reset clears the count for reuse.
+func (c *CountingWriter) Reset() { c.count = 0 }
 
 // Reader decodes a buffer produced by Writer. The first error sticks; all
 // subsequent reads return zero values. Callers check Err (or Close) once.
