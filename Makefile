@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-json bench-sim-json experiments examples fuzz cover clean
+.PHONY: all build test test-short test-race vet bench bench-json bench-sim-json bench-net-json experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -42,6 +42,14 @@ bench-sim-json:
 	$(GO) run ./cmd/adaptiveba-bench -bench-sim-json BENCH_sim.json \
 		-protocol bb -ns 11,21,41,81,161 -fs 0 -ed25519
 
+# Regenerate the transport data-plane A/B baseline (BENCH_net.json):
+# the batched send path (encode-once + per-peer coalescing outboxes)
+# vs -legacy-send over loopback TCP at n in {9,17,33}, asserting
+# byte-identical cluster CSVs/decisions and ~0 allocs/message steady
+# state on the pooled path.
+bench-net-json:
+	$(GO) run ./cmd/adaptiveba-bench -bench-net-json BENCH_net.json
+
 # Regenerate every table/figure of the paper (EXPERIMENTS.md data).
 experiments:
 	$(GO) run ./cmd/adaptiveba-bench -all
@@ -59,6 +67,8 @@ fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzFullRegistryRoundTrip -fuzztime 30s
 	$(GO) test ./internal/core/bb -fuzz FuzzDecodeValue -fuzztime 30s
 	$(GO) test ./internal/crypto/verifycache -fuzz FuzzCachedVerifyMatchesDirect -fuzztime 30s
+	$(GO) test ./internal/transport -fuzz FuzzReadFrame$$ -fuzztime 30s
+	$(GO) test ./internal/transport -fuzz FuzzReadFrameRoundTrip -fuzztime 30s
 
 cover:
 	$(GO) test ./... -coverprofile=cover.out

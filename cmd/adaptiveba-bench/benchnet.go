@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"adaptiveba/internal/transport"
+)
+
+// netArm is one side of the transport data-plane A/B at a fixed n: the
+// batched path (encode-once + coalescing outboxes) or the legacy
+// synchronous per-message path.
+type netArm struct {
+	NsPerBroadcast     float64 `json:"ns_per_broadcast"`
+	NsPerMessage       float64 `json:"ns_per_message"`
+	AllocsPerBroadcast float64 `json:"allocs_per_broadcast"`
+	AllocsPerMessage   float64 `json:"allocs_per_message"`
+	BytesPerBroadcast  float64 `json:"bytes_per_broadcast"`
+	Iterations         int     `json:"iterations"`
+	Drops              int64   `json:"drops"`
+}
+
+// netPoint is the A/B comparison for one mesh size.
+type netPoint struct {
+	N        int    `json:"n"`
+	Messages int    `json:"messages_per_broadcast"`
+	Batched  netArm `json:"batched"`
+	Legacy   netArm `json:"legacy"`
+	// Speedup is legacy ns/op over batched ns/op (>1 means batching wins).
+	Speedup float64 `json:"speedup"`
+	// AllocReduction is legacy allocs/op minus batched allocs/op.
+	AllocReduction float64 `json:"alloc_reduction"`
+}
+
+// netBench is the full report written by -bench-net-json.
+type netBench struct {
+	Workload   string `json:"workload"`
+	Ns         []int  `json:"ns"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Sweep []netPoint `json:"sweep"`
+
+	// SteadyStateAllocsPerMessage is testing.AllocsPerRun over warmed
+	// batched broadcasts, divided by messages per broadcast — the pooled
+	// send path's zero-allocation claim.
+	SteadyStateAllocsPerMessage float64 `json:"steady_state_allocs_per_message"`
+
+	// CSVIdentical and DecisionsIdentical assert the determinism
+	// contract: a full loopback BB cluster emits byte-identical metrics
+	// CSVs and the same decisions on both send paths.
+	CSVIdentical       bool `json:"csv_identical"`
+	DecisionsIdentical bool `json:"decisions_identical"`
+}
+
+// measureNetArm benchmarks Broadcast-to-drain on one SendBench arm.
+// Drain is inside the timed region so the batched arm pays for its
+// flushes: the comparison is end-to-end bytes-on-the-wire, not
+// enqueue-and-run.
+func measureNetArm(n int, legacy bool) (netArm, error) {
+	sb, err := transport.NewSendBench(n, legacy)
+	if err != nil {
+		return netArm{}, err
+	}
+	defer sb.Close()
+	for i := 0; i < 100; i++ { // warm pools, buffers, and TCP windows
+		sb.Broadcast()
+	}
+	sb.Drain()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sb.Broadcast()
+		}
+		sb.Drain()
+	})
+	msgs := sb.MessagesPerBroadcast()
+	arm := netArm{
+		NsPerBroadcast:     float64(res.NsPerOp()),
+		NsPerMessage:       float64(res.NsPerOp()) / float64(msgs),
+		AllocsPerBroadcast: float64(res.AllocsPerOp()),
+		AllocsPerMessage:   float64(res.AllocsPerOp()) / float64(msgs),
+		BytesPerBroadcast:  float64(res.AllocedBytesPerOp()),
+		Iterations:         res.N,
+		Drops:              sb.Snapshot().NetDrops,
+	}
+	if arm.Drops > 0 {
+		return arm, fmt.Errorf("n=%d legacy=%v: %d frames dropped under benchmark load; arms are not comparable", n, legacy, arm.Drops)
+	}
+	return arm, nil
+}
+
+// runBenchNetJSON measures the batched and legacy send paths against
+// real loopback TCP sinks at each mesh size, checks the pooled path's
+// steady-state allocation count, verifies cluster-level determinism
+// across the two paths, and writes the machine-readable report to path.
+func runBenchNetJSON(out io.Writer, path string, ns []int) error {
+	rep := netBench{
+		Workload:   "signed bb sender-broadcast over loopback tcp",
+		Ns:         ns,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, n := range ns {
+		batched, err := measureNetArm(n, false)
+		if err != nil {
+			return err
+		}
+		legacy, err := measureNetArm(n, true)
+		if err != nil {
+			return err
+		}
+		pt := netPoint{
+			N:              n,
+			Messages:       n - 1,
+			Batched:        batched,
+			Legacy:         legacy,
+			AllocReduction: legacy.AllocsPerBroadcast - batched.AllocsPerBroadcast,
+		}
+		if batched.NsPerBroadcast > 0 {
+			pt.Speedup = legacy.NsPerBroadcast / batched.NsPerBroadcast
+		}
+		rep.Sweep = append(rep.Sweep, pt)
+		fmt.Fprintf(out, "bench-net-json: n=%-3d batched %9.0f ns/op %6.2f allocs/op | legacy %9.0f ns/op %6.2f allocs/op | speedup %.2fx\n",
+			n, batched.NsPerBroadcast, batched.AllocsPerBroadcast,
+			legacy.NsPerBroadcast, legacy.AllocsPerBroadcast, pt.Speedup)
+	}
+
+	// Zero-alloc claim on the pooled path, at the largest mesh size.
+	{
+		n := ns[len(ns)-1]
+		sb, err := transport.NewSendBench(n, false)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 200; i++ {
+			sb.Broadcast()
+		}
+		sb.Drain()
+		allocs := testing.AllocsPerRun(200, sb.Broadcast)
+		sb.Drain()
+		sb.Close()
+		rep.SteadyStateAllocsPerMessage = allocs / float64(n-1)
+	}
+
+	// Determinism across send paths on a full loopback cluster.
+	batched, err := transport.RunLoopbackCluster(5, false, 20*time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("batched cluster: %w", err)
+	}
+	legacy, err := transport.RunLoopbackCluster(5, true, 20*time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("legacy cluster: %w", err)
+	}
+	rep.CSVIdentical = bytes.Equal(batched.CSV, legacy.CSV)
+	rep.DecisionsIdentical = len(batched.Decisions) == len(legacy.Decisions)
+	for i := range batched.Decisions {
+		if !batched.Decisions[i].Equal(legacy.Decisions[i]) {
+			rep.DecisionsIdentical = false
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  steady-state %.3f allocs/message  csv_identical=%v decisions_identical=%v\n",
+		rep.SteadyStateAllocsPerMessage, rep.CSVIdentical, rep.DecisionsIdentical)
+	fmt.Fprintf(out, "  wrote %s\n", path)
+	if !rep.CSVIdentical || !rep.DecisionsIdentical {
+		return fmt.Errorf("determinism violation: batched and legacy send paths disagree (csv_identical=%v decisions_identical=%v)",
+			rep.CSVIdentical, rep.DecisionsIdentical)
+	}
+	return nil
+}

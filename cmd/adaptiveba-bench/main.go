@@ -46,6 +46,7 @@ func run(args []string, out io.Writer) error {
 		tickW    = fs.Int("tick-workers", 0, "per-tick worker count inside one run (0 = one per CPU, 1 = serial); any value yields identical output")
 		benchOut = fs.String("bench-json", "", "run the sweep cached AND uncached, write a machine-readable A/B report to this path")
 		benchSim = fs.String("bench-sim-json", "", "run the sweep serial AND parallel (tick workers 1 vs GOMAXPROCS), write a machine-readable A/B report to this path")
+		benchNet = fs.String("bench-net-json", "", "A/B the transport send paths (batched vs -legacy-send) over loopback TCP, write a machine-readable report to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +73,23 @@ func run(args []string, out io.Writer) error {
 			CountOps:    true,
 			TickWorkers: *tickW,
 		}, ns, fvals)
+	}
+	if *benchNet != "" {
+		// The network A/B has its own default mesh sizes; -ns overrides.
+		nsStr, explicit := "9,17,33", false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "ns" {
+				explicit = true
+			}
+		})
+		if explicit {
+			nsStr = *nsFlag
+		}
+		ns, err := parseInts(nsStr)
+		if err != nil {
+			return fmt.Errorf("-ns: %w", err)
+		}
+		return runBenchNetJSON(out, *benchNet, ns)
 	}
 	if *benchSim != "" {
 		ns, err := parseInts(*nsFlag)

@@ -40,13 +40,15 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("adaptiveba-cluster", flag.ContinueOnError)
 	var (
-		protocol = fs.String("protocol", "bb", "protocol: bb | wba | strongba")
-		n        = fs.Int("n", 5, "number of processes")
-		crash    = fs.Int("crash", 0, "number of crashed (never-started) processes, taken from the highest ids")
-		value    = fs.String("value", "1", "broadcast / unanimous input value (strongba: 0 or 1)")
-		tick     = fs.Duration("tick", 15*time.Millisecond, "tick interval (δ)")
-		dial     = fs.Duration("dial", 3*time.Second, "per-peer connection deadline (crashed peers are written off after it)")
-		timeout  = fs.Duration("timeout", 60*time.Second, "overall deadline")
+		protocol   = fs.String("protocol", "bb", "protocol: bb | wba | strongba")
+		n          = fs.Int("n", 5, "number of processes")
+		crash      = fs.Int("crash", 0, "number of crashed (never-started) processes, taken from the highest ids")
+		value      = fs.String("value", "1", "broadcast / unanimous input value (strongba: 0 or 1)")
+		tick       = fs.Duration("tick", 15*time.Millisecond, "tick interval (δ)")
+		dial       = fs.Duration("dial", 3*time.Second, "per-peer connection deadline (crashed peers are written off after it)")
+		timeout    = fs.Duration("timeout", 60*time.Second, "overall deadline")
+		flushEvery = fs.Int("flush-every", 0, "per-peer outbox bound in bytes before backpressure drops (0 = default 4MiB)")
+		legacySend = fs.Bool("legacy-send", false, "use the synchronous per-message send path instead of batched outboxes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +104,8 @@ func run(args []string, out io.Writer) error {
 			TickInterval: *tick,
 			DialTimeout:  *dial,
 			Recorder:     rec,
+			FlushBytes:   *flushEvery,
+			LegacySend:   *legacySend,
 			// The crashed peers never answer the barrier; nodes proceed
 			// when the live ones are ready.
 			Quorum: alive,

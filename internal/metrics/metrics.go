@@ -77,6 +77,15 @@ type Recorder struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	cacheWaits  atomic.Int64
+
+	// Transport data-plane counters (internal/transport). Flushes are
+	// coalesced writer wakeups; drops are frames shed by the slow-peer
+	// backpressure policy. They are atomics because outbox writer
+	// goroutines record them concurrently with the tick loop's sends.
+	netFlushes       atomic.Int64
+	netFlushedFrames atomic.Int64
+	netFlushedBytes  atomic.Int64
+	netDrops         atomic.Int64
 }
 
 // NewRecorder returns an empty recorder.
@@ -149,6 +158,18 @@ func (r *Recorder) SetCacheStats(hits, misses, waits int64) {
 	r.cacheWaits.Store(waits)
 }
 
+// RecordNetFlush notes one coalesced transport flush carrying the given
+// number of frames and wire bytes (headers included).
+func (r *Recorder) RecordNetFlush(frames, bytes int) {
+	r.netFlushes.Add(1)
+	r.netFlushedFrames.Add(int64(frames))
+	r.netFlushedBytes.Add(int64(bytes))
+}
+
+// RecordNetDrop notes one frame dropped by the transport's backpressure
+// policy (the peer's outbox was full, or its connection already failed).
+func (r *Recorder) RecordNetDrop() { r.netDrops.Add(1) }
+
 // Report is an immutable snapshot of a recorder.
 type Report struct {
 	Honest    Stats            // sends by correct processes (the paper's measure)
@@ -162,6 +183,12 @@ type Report struct {
 	CacheHits   int64
 	CacheMisses int64
 	CacheWaits  int64
+	// Transport data-plane counters (0 on the simulator and on the
+	// transport's legacy synchronous send path).
+	NetFlushes       int64
+	NetFlushedFrames int64
+	NetFlushedBytes  int64
+	NetDrops         int64
 }
 
 // Snapshot copies the current counters.
@@ -169,16 +196,20 @@ func (r *Recorder) Snapshot() Report {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rep := Report{
-		Honest:    r.honest,
-		Byzantine: r.byzantine,
-		ByLayer:   make(map[string]Stats, len(r.byLayer)),
-		ByProcess: make(map[types.ProcessID]Stats, len(r.byProc)),
-		Combines:    r.combines.Load(),
-		CertVer:     r.certVerifies.Load(),
-		Ticks:       types.Tick(r.ticks.Load()),
-		CacheHits:   r.cacheHits.Load(),
-		CacheMisses: r.cacheMisses.Load(),
-		CacheWaits:  r.cacheWaits.Load(),
+		Honest:           r.honest,
+		Byzantine:        r.byzantine,
+		ByLayer:          make(map[string]Stats, len(r.byLayer)),
+		ByProcess:        make(map[types.ProcessID]Stats, len(r.byProc)),
+		Combines:         r.combines.Load(),
+		CertVer:          r.certVerifies.Load(),
+		Ticks:            types.Tick(r.ticks.Load()),
+		CacheHits:        r.cacheHits.Load(),
+		CacheMisses:      r.cacheMisses.Load(),
+		CacheWaits:       r.cacheWaits.Load(),
+		NetFlushes:       r.netFlushes.Load(),
+		NetFlushedFrames: r.netFlushedFrames.Load(),
+		NetFlushedBytes:  r.netFlushedBytes.Load(),
+		NetDrops:         r.netDrops.Load(),
 	}
 	for k, v := range r.byLayer {
 		rep.ByLayer[k] = *v

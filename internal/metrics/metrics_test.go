@@ -119,3 +119,30 @@ func TestRecorderConcurrency(t *testing.T) {
 		t.Errorf("lost events under concurrency: %d", got)
 	}
 }
+
+// TestNetCounters exercises the transport data-plane counters: coalesced
+// flushes aggregate frames and bytes, drops count backpressure sheds, and
+// both survive concurrent recording (outbox writers run off the tick loop).
+func TestNetCounters(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.RecordNetFlush(3, 120)
+				r.RecordNetDrop()
+			}
+		}()
+	}
+	wg.Wait()
+	rep := r.Snapshot()
+	if rep.NetFlushes != 400 || rep.NetFlushedFrames != 1200 || rep.NetFlushedBytes != 48000 {
+		t.Errorf("flush counters: flushes=%d frames=%d bytes=%d",
+			rep.NetFlushes, rep.NetFlushedFrames, rep.NetFlushedBytes)
+	}
+	if rep.NetDrops != 400 {
+		t.Errorf("drops = %d, want 400", rep.NetDrops)
+	}
+}

@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestBatchedVsLegacyClusterDeterminism is the golden-trace pattern
+// applied to the TCP stack: a loopback BB cluster must produce
+// byte-identical metrics CSVs and decisions whether the data plane
+// batches (encode-once + coalescing outboxes) or writes synchronously
+// per message (-legacy-send).
+func TestBatchedVsLegacyClusterDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full TCP cluster runs")
+	}
+	const n = 5
+	const tick = 30 * time.Millisecond
+
+	batched, err := RunLoopbackCluster(n, false, tick)
+	if err != nil {
+		t.Fatalf("batched cluster: %v", err)
+	}
+	legacy, err := RunLoopbackCluster(n, true, tick)
+	if err != nil {
+		t.Fatalf("legacy cluster: %v", err)
+	}
+
+	if batched.Drops != 0 {
+		t.Errorf("batched run dropped %d frames on a healthy loopback mesh", batched.Drops)
+	}
+	for i := range batched.Decisions {
+		if !batched.Decisions[i].Equal(legacy.Decisions[i]) {
+			t.Errorf("node %d decided %q batched vs %q legacy", i, batched.Decisions[i], legacy.Decisions[i])
+		}
+	}
+	if !bytes.Equal(batched.CSV, legacy.CSV) {
+		t.Errorf("metrics CSVs differ between send paths:\n--- batched ---\n%s--- legacy ---\n%s",
+			batched.CSV, legacy.CSV)
+	}
+}
+
+// TestSendBytesParity pins the metrics contract of the two send paths:
+// RecordSend.Bytes must report the identical per-message wire size
+// (frame header counted once) on both, so byte tables stay comparable
+// across PRs regardless of the data plane in use.
+func TestSendBytesParity(t *testing.T) {
+	const n = 7
+	snapshots := make(map[bool]int64)
+	for _, legacy := range []bool{false, true} {
+		sb, err := NewSendBench(n, legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			sb.Broadcast()
+		}
+		sb.Drain()
+		rep := sb.Snapshot()
+		if want := int64(10 * sb.MessagesPerBroadcast()); rep.Honest.Messages != want {
+			t.Errorf("legacy=%v: %d messages, want %d", legacy, rep.Honest.Messages, want)
+		}
+		snapshots[legacy] = rep.Honest.Bytes
+		sb.Close()
+	}
+	if snapshots[false] != snapshots[true] {
+		t.Errorf("Bytes diverge: batched=%d legacy=%d", snapshots[false], snapshots[true])
+	}
+	if snapshots[false] == 0 {
+		t.Error("no bytes recorded")
+	}
+
+	// The reported size must be the exact frame length: header (5) +
+	// session string (8+len) + payload frame as a length-prefixed chunk.
+	sb, err := NewSendBench(3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+	payloadFrame, err := sb.node.cfg.Registry.EncodePayload(sb.outs[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPerMsg := 5 + 8 + len(sb.outs[0].Session) + 8 + len(payloadFrame)
+	sb.Broadcast()
+	sb.Drain()
+	rep := sb.Snapshot()
+	if got := rep.Honest.Bytes / rep.Honest.Messages; got != int64(wantPerMsg) {
+		t.Errorf("bytes per message = %d, want %d", got, wantPerMsg)
+	}
+}
+
+// TestSendAllocCeiling is the CI allocation guard for the pooled send
+// path, mirroring the sim engine's TestSimTickAllocCeiling: once the
+// scratch writers and outbox buffers are warm, a steady-state broadcast
+// through Node.send must not allocate. (The legacy path allocates
+// several times per message; a regression here shows up as allocs >= n.)
+func TestSendAllocCeiling(t *testing.T) {
+	sb, err := NewSendBench(9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+	for i := 0; i < 200; i++ { // warm buffers and pools
+		sb.Broadcast()
+	}
+	sb.Drain()
+	allocs := testing.AllocsPerRun(100, sb.Broadcast)
+	sb.Drain()
+	if allocs > 0.5 {
+		t.Errorf("steady-state Broadcast allocates %.2f times per call, want 0", allocs)
+	}
+}
+
+// TestFrameReaderBoundsAllocations: a hostile length prefix near
+// maxFrame with almost no body behind it must fail without committing
+// memory for the claimed size — the reader grows in readChunk steps as
+// bytes actually arrive.
+func TestFrameReaderBoundsAllocations(t *testing.T) {
+	hostile := make([]byte, 4)
+	binary.BigEndian.PutUint32(hostile, maxFrame) // in-range, so only streaming bounds protect us
+	hostile = append(hostile, frameMsg, 'h', 'i')
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var fr frameReader
+	if _, _, err := fr.read(bytes.NewReader(hostile)); err == nil {
+		t.Fatal("truncated hostile frame did not error")
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 2*readChunk {
+		t.Errorf("truncated 7-byte frame allocated %d bytes (claimed %d)", grew, maxFrame)
+	}
+
+	// Oversize and zero-length prefixes fail before any body allocation:
+	// only the error value itself may allocate, never buffer memory.
+	for _, size := range []uint32{0, maxFrame + 1, 1<<32 - 1} {
+		in := make([]byte, 4)
+		binary.BigEndian.PutUint32(in, size)
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		for i := 0; i < 10; i++ {
+			var r frameReader
+			if _, _, err := r.read(bytes.NewReader(in)); err == nil {
+				t.Fatalf("size %d accepted", size)
+			}
+		}
+		runtime.ReadMemStats(&after)
+		if grew := after.TotalAlloc - before.TotalAlloc; grew > 4096 {
+			t.Errorf("size %d: %d bytes allocated across 10 rejections", size, grew)
+		}
+	}
+}
+
+// TestFrameReaderReusesBuffer: steady-state frame reads off one
+// connection allocate nothing once the buffer has grown.
+func TestFrameReaderReusesBuffer(t *testing.T) {
+	body := bytes.Repeat([]byte{0xab}, 1024)
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		for i := 0; i < 120; i++ {
+			writeFrame(c1, frameMsg, body)
+		}
+	}()
+	var fr frameReader
+	if _, _, err := fr.read(c2); err != nil { // warm the buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		kind, got, err := fr.read(c2)
+		if err != nil || kind != frameMsg || len(got) != len(body) {
+			t.Fatalf("read: kind=%d len=%d err=%v", kind, len(got), err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state frame read allocates %.1f times", allocs)
+	}
+}
+
+// TestOutboxBackpressureDropsInsteadOfBlocking: with a stalled peer the
+// outbox must reject frames beyond its bound immediately — the enqueue
+// side (the tick loop in production) never blocks, and once the write
+// deadline kills the connection the error becomes sticky.
+func TestOutboxBackpressureDropsInsteadOfBlocking(t *testing.T) {
+	c1, c2 := net.Pipe() // nothing ever reads c2: the peer is stalled
+	defer c2.Close()
+	ob := newPeerOutbox(c1, 256, 50*time.Millisecond, nil)
+	defer func() {
+		ob.shutdown()
+		c1.Close()
+	}()
+
+	body := make([]byte, 64)
+	deadline := time.Now().Add(10 * time.Second)
+	var sawBackpressure, sawDead bool
+	for time.Now().Before(deadline) && !(sawBackpressure && sawDead) {
+		start := time.Now()
+		err := ob.enqueue(frameMsg, body)
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("enqueue blocked for %v", d)
+		}
+		switch {
+		case errors.Is(err, ErrBackpressure):
+			sawBackpressure = true
+		case err != nil:
+			sawDead = true // write deadline fired; sticky connection error
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !sawBackpressure {
+		t.Error("never saw ErrBackpressure from a full outbox")
+	}
+	if !sawDead {
+		t.Error("write deadline never surfaced as a sticky enqueue error")
+	}
+}

@@ -1,0 +1,290 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"adaptiveba/internal/core/bb"
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/metrics"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/types"
+)
+
+// This file is the measurement harness behind `adaptiveba-bench
+// -bench-net-json` and the batching determinism tests: a sender whose
+// Node.send is driven directly against loopback TCP sinks (SendBench),
+// and a full in-process loopback cluster whose metrics are rendered to a
+// canonical CSV (RunLoopbackCluster).
+
+// idleMachine satisfies proto.Machine for harnesses that drive the data
+// plane directly and never tick a real protocol.
+type idleMachine struct{}
+
+func (idleMachine) Begin(types.Tick) []proto.Outgoing                  { return nil }
+func (idleMachine) Tick(types.Tick, []proto.Incoming) []proto.Outgoing { return nil }
+func (idleMachine) Output() (types.Value, bool)                        { return nil, false }
+func (idleMachine) Done() bool                                         { return false }
+
+// SendBench wires one Node's send path to n real loopback TCP
+// connections drained by discard sinks, so the data plane — encode-once
+// framing, outbox enqueue, coalesced writer flushes (or the legacy
+// synchronous writes) — can be measured in isolation from protocol
+// logic and tick pacing.
+type SendBench struct {
+	node      *Node
+	rec       *metrics.Recorder
+	outs      []proto.Outgoing
+	listeners []net.Listener
+	sinkWG    sync.WaitGroup
+}
+
+// NewSendBench builds a sender for an n-process mesh broadcasting one
+// signed BB sender-message per Broadcast call. legacy selects the
+// synchronous pre-batching path.
+func NewSendBench(n int, legacy bool) (*SendBench, error) {
+	params, err := types.NewParams(n)
+	if err != nil {
+		return nil, err
+	}
+	ring, err := sig.NewHMACRing(n, []byte("net-bench"))
+	if err != nil {
+		return nil, err
+	}
+	crypto := proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("net-bench-dealer"))
+	value := types.Value("net-bench-value-0123456789abcdef")
+	sg, err := crypto.Signer(0).Sign(value)
+	if err != nil {
+		return nil, err
+	}
+
+	rec := metrics.NewRecorder()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0" // never dialed: connections are wired below
+	}
+	node, err := NewNode(Config{
+		Params:   params,
+		Crypto:   crypto,
+		ID:       0,
+		Addrs:    addrs,
+		Registry: NewFullRegistry(),
+		Recorder: rec,
+		// A large bound so the benchmark measures throughput, not the
+		// drop policy: the arms must deliver identical message counts.
+		FlushBytes: 64 << 20,
+		LegacySend: legacy,
+	}, idleMachine{})
+	if err != nil {
+		return nil, err
+	}
+
+	sb := &SendBench{
+		node: node,
+		rec:  rec,
+		outs: proto.Broadcast(params, "bench/bb", bb.SenderMsg{V: value, Sig: sg}),
+	}
+	node.outbound = make([]net.Conn, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			sb.Close()
+			return nil, err
+		}
+		sb.listeners = append(sb.listeners, ln)
+		sb.sinkWG.Add(1)
+		go func() {
+			defer sb.sinkWG.Done()
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			io.Copy(io.Discard, conn)
+		}()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			sb.Close()
+			return nil, err
+		}
+		node.outbound[i] = conn
+	}
+	if !legacy {
+		node.startOutboxes()
+	}
+	return sb, nil
+}
+
+// Broadcast pushes one n-recipient broadcast through Node.send.
+func (sb *SendBench) Broadcast() { sb.node.send(sb.outs) }
+
+// MessagesPerBroadcast is the number of metered sends per Broadcast
+// (self-delivery is not counted).
+func (sb *SendBench) MessagesPerBroadcast() int { return sb.node.cfg.Params.N - 1 }
+
+// Drain blocks until every outbox has flushed its queued bytes to the
+// kernel (no-op on the legacy path, which writes inline).
+func (sb *SendBench) Drain() {
+	for _, ob := range sb.node.outboxes {
+		if ob == nil {
+			continue
+		}
+		for ob.buffered() > 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// Snapshot returns the sender's metrics so far.
+func (sb *SendBench) Snapshot() metrics.Report { return sb.rec.Snapshot() }
+
+// Close tears the sinks and writers down.
+func (sb *SendBench) Close() {
+	sb.node.stopOutboxes()
+	for _, c := range sb.node.outbound {
+		if c != nil {
+			c.Close()
+		}
+	}
+	for _, ln := range sb.listeners {
+		ln.Close()
+	}
+	sb.sinkWG.Wait()
+}
+
+// ClusterResult is one loopback cluster run, reduced to the observables
+// the batched and legacy data planes must agree on byte-for-byte.
+type ClusterResult struct {
+	// Decisions[i] is process i's decided value.
+	Decisions []types.Value
+	// CSV is the canonical per-node metrics rendering (see MetricsCSV).
+	CSV []byte
+	// Drops is the backpressure total across nodes (0 on healthy runs).
+	Drops int64
+}
+
+// RunLoopbackCluster runs an n-process BB broadcast over real localhost
+// TCP and renders each node's recorder into the canonical CSV. With
+// identical inputs, the batched and legacy data planes must produce
+// byte-identical CSVs and decisions — the golden-trace determinism
+// pattern applied to the TCP stack.
+func RunLoopbackCluster(n int, legacy bool, tick time.Duration) (*ClusterResult, error) {
+	params, err := types.NewParams(n)
+	if err != nil {
+		return nil, err
+	}
+	ring, err := sig.NewHMACRing(n, []byte("net-cluster"))
+	if err != nil {
+		return nil, err
+	}
+	crypto := proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("net-cluster-dealer"))
+	addrs, err := reserveLoopbackAddrs(n)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	decisions := make([]types.Value, n)
+	recs := make([]*metrics.Recorder, n)
+	for i := 0; i < n; i++ {
+		id := types.ProcessID(i)
+		recs[i] = metrics.NewRecorder()
+		machine := bb.NewMachine(bb.Config{
+			Params: params, Crypto: crypto, ID: id,
+			Sender: 0, Input: types.Value("net-bench-broadcast"), Tag: "netbench",
+		})
+		node, err := NewNode(Config{
+			Params:       params,
+			Crypto:       crypto,
+			ID:           id,
+			Addrs:        addrs,
+			Registry:     NewFullRegistry(),
+			TickInterval: tick,
+			Recorder:     recs[i],
+			LegacySend:   legacy,
+		}, machine)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := node.Run(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("node %v: %w", id, err)
+				return
+			}
+			decisions[id] = v
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res := &ClusterResult{Decisions: decisions, CSV: MetricsCSV(recs)}
+	for _, r := range recs {
+		res.Drops += r.Snapshot().NetDrops
+	}
+	return res, nil
+}
+
+// MetricsCSV renders per-node recorders into a canonical CSV: one totals
+// row per node followed by its per-layer breakdown, sorted by layer.
+// Only transport-independent observables appear (messages, words, bytes,
+// signatures) — flush and drop counters are data-plane internals and
+// legitimately differ between send paths.
+func MetricsCSV(recs []*metrics.Recorder) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "node,layer,msgs,words,bytes,sigs")
+	for i, r := range recs {
+		rep := r.Snapshot()
+		fmt.Fprintf(&buf, "%d,TOTAL,%d,%d,%d,%d\n", i,
+			rep.Honest.Messages, rep.Honest.Words, rep.Honest.Bytes, rep.Honest.Signatures)
+		layers := make([]string, 0, len(rep.ByLayer))
+		for l := range rep.ByLayer {
+			layers = append(layers, l)
+		}
+		sort.Strings(layers)
+		for _, l := range layers {
+			s := rep.ByLayer[l]
+			fmt.Fprintf(&buf, "%d,%s,%d,%d,%d,%d\n", i, l, s.Messages, s.Words, s.Bytes, s.Signatures)
+		}
+	}
+	return buf.Bytes()
+}
+
+// reserveLoopbackAddrs picks n free localhost ports.
+func reserveLoopbackAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range listeners {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners = append(listeners, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}

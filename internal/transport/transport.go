@@ -26,6 +26,7 @@ import (
 	"net"
 	"sync"
 	"time"
+	"unsafe"
 
 	"adaptiveba/internal/baseline/dolevstrong"
 	"adaptiveba/internal/baseline/echobb"
@@ -59,8 +60,18 @@ const (
 	frameMsg   byte = 3
 )
 
-// maxFrame bounds a single frame read.
+// maxFrame bounds a single frame read. It is sized consistently with
+// wire.MaxChunk (1 MiB per length-prefixed field): a message frame is a
+// session path plus a (type, body) payload frame, so 4 MiB leaves room
+// for a session, a type name, and two maximal fields. readFrame commits
+// memory incrementally (see readChunk), so a hostile length prefix near
+// this bound still cannot force a large allocation up front.
 const maxFrame = 4 << 20
+
+// readChunk bounds how far a frame reader's buffer grows ahead of bytes
+// that have actually arrived. Oversize prefixes fail before any
+// allocation; truncated frames allocate at most ~2x the bytes received.
+const readChunk = 64 << 10
 
 // Errors returned by the node.
 var (
@@ -70,6 +81,9 @@ var (
 	ErrCrashed = errors.New("transport: node crashed by fault injection")
 	// ErrClosed reports that Close ended the run.
 	ErrClosed = errors.New("transport: node closed")
+	// ErrBackpressure reports a frame dropped because a peer's outbox was
+	// full — the slow-peer policy drops rather than head-of-line blocks.
+	ErrBackpressure = errors.New("transport: peer outbox full, frame dropped")
 )
 
 // Config describes one node.
@@ -100,6 +114,19 @@ type Config struct {
 	Recorder *metrics.Recorder
 	// Logf, if set, receives debug lines.
 	Logf func(format string, args ...any)
+	// LegacySend restores the pre-batching synchronous data plane: every
+	// outgoing message encoded per recipient and written inline on the
+	// tick goroutine. For A/B baselines (-bench-net-json) and bisection
+	// only; the batched path is semantically identical on healthy links.
+	LegacySend bool
+	// FlushBytes bounds the bytes buffered per peer between coalesced
+	// flushes. An enqueue that would exceed it drops the frame
+	// (ErrBackpressure, surfaced through metrics) instead of blocking
+	// the tick loop behind a slow peer. Default 4 MiB.
+	FlushBytes int
+	// WriteDeadline bounds each coalesced flush write (and each legacy
+	// synchronous write), so a dead link fails fast. Default 10s.
+	WriteDeadline time.Duration
 }
 
 // Node runs one machine over TCP. Close may be called from any
@@ -116,8 +143,27 @@ type Node struct {
 	outbound []net.Conn
 	inbound  map[net.Conn]struct{}
 
+	// outboxes[i] is the coalescing writer for outbound[i] (nil for
+	// crashed peers and on the legacy path). Built once after the start
+	// barrier and only read by the tick goroutine thereafter.
+	outboxes []*peerOutbox
+	scratch  sendScratch
+
 	closeOnce sync.Once
 	closed    chan struct{}
+}
+
+// sendScratch is the tick goroutine's reusable encode-once state: the
+// writers hold the grown buffers, and (key, session) memoize the last
+// encoded payload so a broadcast is framed exactly once.
+type sendScratch struct {
+	payloadW *wire.Writer // registry (type, body) frame of the payload
+	frameW   *wire.Writer // message body: session + framed payload
+	key      payloadKey
+	session  string
+	valid    bool
+	failed   bool // the memoized payload failed to encode
+	words    int
 }
 
 // NewNode validates the configuration and builds a node.
@@ -143,12 +189,19 @@ func NewNode(cfg Config, machine proto.Machine) (*Node, error) {
 	if cfg.Quorum <= 0 || cfg.Quorum > cfg.Params.N {
 		cfg.Quorum = cfg.Params.N
 	}
+	if cfg.FlushBytes <= 0 {
+		cfg.FlushBytes = 4 << 20
+	}
+	if cfg.WriteDeadline <= 0 {
+		cfg.WriteDeadline = 10 * time.Second
+	}
 	return &Node{
 		cfg:     cfg,
 		machine: machine,
 		readyCh: make(chan types.ProcessID, cfg.Params.N*2),
 		inbound: make(map[net.Conn]struct{}),
 		closed:  make(chan struct{}),
+		scratch: sendScratch{payloadW: wire.NewWriter(), frameW: wire.NewWriter()},
 	}, nil
 }
 
@@ -220,7 +273,36 @@ func (n *Node) Run(ctx context.Context) (types.Value, error) {
 	if err := n.barrier(ctx); err != nil {
 		return nil, err
 	}
+	if !n.cfg.LegacySend {
+		// The hello and ready frames went out synchronously above, so the
+		// writers own their connections from the first tick onward.
+		n.startOutboxes()
+		defer n.stopOutboxes()
+	}
 	return n.tickLoop(ctx)
+}
+
+// startOutboxes spawns one coalescing writer per live outbound
+// connection (including the loopback to self).
+func (n *Node) startOutboxes() {
+	n.outboxes = make([]*peerOutbox, n.cfg.Params.N)
+	for i, conn := range n.outbound {
+		if conn == nil {
+			continue
+		}
+		n.outboxes[i] = newPeerOutbox(conn, n.cfg.FlushBytes, n.cfg.WriteDeadline, n.cfg.Recorder)
+	}
+}
+
+// stopOutboxes drains and joins every writer goroutine. It runs before
+// the deferred closeOutbound, so on a clean finish the final flush still
+// has a live connection; after Close the writers fail fast instead.
+func (n *Node) stopOutboxes() {
+	for _, ob := range n.outboxes {
+		if ob != nil {
+			ob.shutdown()
+		}
+	}
 }
 
 // acceptLoop receives inbound connections and spawns readers.
@@ -253,11 +335,12 @@ func (n *Node) readLoop(ctx context.Context, conn net.Conn) {
 	default:
 	}
 	from := types.NilProcess
+	var fr frameReader // reusable frame buffer: one allocation per conn, not per frame
 	for {
 		if ctx.Err() != nil {
 			return
 		}
-		kind, body, err := readFrame(conn)
+		kind, body, err := fr.read(conn)
 		if err != nil {
 			return
 		}
@@ -448,24 +531,113 @@ func (n *Node) tickLoop(ctx context.Context) (types.Value, error) {
 	}
 }
 
-// send frames and transmits outgoing messages.
+// payloadKey identifies one boxed payload instance: the interface's type
+// and data words, read without dereferencing (the same trick as the sim
+// engine's cost memo). Keys are only compared between payloads reachable
+// from the same outs slice, so address reuse cannot alias two distinct
+// live payloads. Interface equality (==) would be wrong here: payloads
+// legitimately contain slices (values, signatures), which makes them
+// non-comparable.
+type payloadKey [2]uintptr
+
+func keyOf(p proto.Payload) payloadKey {
+	return *(*payloadKey)(unsafe.Pointer(&p))
+}
+
+// send frames and transmits outgoing messages on the configured data
+// plane. Both paths record identical metrics per delivered message.
 func (n *Node) send(outs []proto.Outgoing) {
-	for _, o := range outs {
-		if n.cfg.Params.CheckProcess(o.To) != nil {
+	if n.cfg.LegacySend {
+		n.sendLegacy(outs)
+		return
+	}
+	n.sendBatched(outs)
+}
+
+// sendBatched is the encode-once data plane: each distinct (session,
+// payload) is framed exactly once into the node's scratch writers and the
+// resulting bytes are enqueued on every recipient's outbox. A broadcast —
+// n copies of one boxed payload, as proto.Broadcast emits — costs one
+// registry encoding and n buffer appends; the steady-state path performs
+// zero allocations (guarded by TestSendAllocCeiling).
+func (n *Node) sendBatched(outs []proto.Outgoing) {
+	s := &n.scratch
+	s.valid = false // keys are only meaningful within one outs slice
+	for i := range outs {
+		o := &outs[i]
+		if n.cfg.Params.CheckProcess(o.To) != nil || o.Payload == nil {
 			continue
+		}
+		ob := n.outboxes[o.To]
+		if ob == nil {
+			continue // crashed peer: skipped before any encoding work
+		}
+		if k := keyOf(o.Payload); !s.valid || k != s.key || o.Session != s.session {
+			s.key, s.session, s.valid = k, o.Session, true
+			s.failed = false
+			s.payloadW.Reset()
+			if err := n.cfg.Registry.AppendPayload(s.payloadW, o.Payload); err != nil {
+				n.logf("encode %s: %v", o.Payload.Type(), err)
+				s.failed = true
+			} else {
+				s.frameW.Reset()
+				s.frameW.PutString(o.Session)
+				s.frameW.PutBytes(s.payloadW.Bytes())
+				s.words = o.Payload.Words()
+			}
+		}
+		if s.failed {
+			continue
+		}
+		body := s.frameW.Bytes()
+		if err := ob.enqueue(frameMsg, body); err != nil {
+			n.logf("send to %v: %v", o.To, err)
+			if n.cfg.Recorder != nil {
+				n.cfg.Recorder.RecordNetDrop()
+			}
+			continue
+		}
+		if n.cfg.Recorder != nil && o.To != n.cfg.ID {
+			n.cfg.Recorder.RecordSend(metrics.SendEvent{
+				From:   n.cfg.ID,
+				To:     o.To,
+				Words:  s.words,
+				Bytes:  len(body) + 5, // frame header counted once, as on the legacy path
+				Layer:  o.Session,
+				Honest: true,
+			})
+		}
+	}
+}
+
+// sendLegacy is the pre-batching synchronous path: encode and write per
+// recipient, inline on the tick goroutine.
+func (n *Node) sendLegacy(outs []proto.Outgoing) {
+	for _, o := range outs {
+		// Skip crashed peers and out-of-range IDs before spending any
+		// encoding work (or logging spurious encode errors) on them.
+		if n.cfg.Params.CheckProcess(o.To) != nil || o.Payload == nil {
+			continue
+		}
+		conn := n.outbound[o.To]
+		if conn == nil {
+			continue // crashed peer
 		}
 		payloadFrame, err := n.cfg.Registry.EncodePayload(o.Payload)
 		if err != nil {
 			n.logf("encode %s: %v", o.Payload.Type(), err)
 			continue
 		}
-		if n.outbound[o.To] == nil {
-			continue // crashed peer
-		}
-		w := wire.NewWriter()
+		w := wire.GetWriter()
 		w.PutString(o.Session)
 		w.PutBytes(payloadFrame)
-		if err := writeFrame(n.outbound[o.To], frameMsg, w.Bytes()); err != nil {
+		if n.cfg.WriteDeadline > 0 {
+			conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteDeadline))
+		}
+		err = writeFrame(conn, frameMsg, w.Bytes())
+		frameBytes := w.Len() + 5
+		wire.PutWriter(w)
+		if err != nil {
 			n.logf("send to %v: %v", o.To, err)
 			continue
 		}
@@ -474,7 +646,7 @@ func (n *Node) send(outs []proto.Outgoing) {
 				From:   n.cfg.ID,
 				To:     o.To,
 				Words:  o.Payload.Words(),
-				Bytes:  len(w.Bytes()) + 5,
+				Bytes:  frameBytes,
 				Layer:  o.Session,
 				Honest: true,
 			})
@@ -499,29 +671,88 @@ func (n *Node) logf(format string, args ...any) {
 	}
 }
 
-// writeFrame emits [len u32][kind][body].
-func writeFrame(conn net.Conn, kind byte, body []byte) error {
-	buf := make([]byte, 5+len(body))
-	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)+1))
-	buf[4] = kind
-	copy(buf[5:], body)
-	_, err := conn.Write(buf)
+// frameBufPool recycles the scratch buffers behind writeFrame, so the
+// synchronous framing path (hello/ready, legacy sends) stops allocating
+// per frame.
+var frameBufPool = sync.Pool{
+	New: func() any { return new([]byte) },
+}
+
+// writeFrame emits [len u32][kind][body] in one write from a pooled
+// buffer.
+func writeFrame(w io.Writer, kind byte, body []byte) error {
+	bp := frameBufPool.Get().(*[]byte)
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+1))
+	hdr[4] = kind
+	buf := append((*bp)[:0], hdr[:]...)
+	buf = append(buf, body...)
+	*bp = buf
+	_, err := w.Write(buf)
+	frameBufPool.Put(bp)
 	return err
 }
 
-// readFrame reads one frame.
-func readFrame(conn net.Conn) (byte, []byte, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+// frameReader reads [len u32][kind][body] frames from one connection,
+// reusing a single grow-only buffer across frames. The length prefix is
+// read into a struct field rather than a local so that passing it to
+// io.ReadFull does not heap-allocate per frame.
+type frameReader struct {
+	buf    []byte
+	lenBuf [4]byte
+}
+
+// read returns the next frame's kind and body. The body aliases the
+// reader's internal buffer and is valid only until the next read call.
+//
+// Allocation is bounded against hostile length prefixes consistently
+// with wire.MaxChunk's philosophy: prefixes beyond maxFrame fail before
+// any allocation, and in-range frames commit buffer memory in readChunk
+// steps (doubling, capped at the frame size), so a truncated or
+// slow-trickling frame can pin at most about twice the bytes actually
+// received.
+func (fr *frameReader) read(r io.Reader) (byte, []byte, error) {
+	if _, err := io.ReadFull(r, fr.lenBuf[:]); err != nil {
 		return 0, nil, err
 	}
-	size := binary.BigEndian.Uint32(lenBuf[:])
+	size := binary.BigEndian.Uint32(fr.lenBuf[:])
 	if size == 0 || size > maxFrame {
 		return 0, nil, fmt.Errorf("transport: bad frame size %d", size)
 	}
-	body := make([]byte, size)
-	if _, err := io.ReadFull(conn, body); err != nil {
-		return 0, nil, err
+	n := int(size)
+	buf := fr.buf[:0]
+	for got := 0; got < n; {
+		step := n - got
+		if step > readChunk {
+			step = readChunk
+		}
+		need := got + step
+		if cap(buf) < need {
+			newCap := 2 * cap(buf)
+			if newCap < need {
+				newCap = need
+			}
+			if newCap > n {
+				newCap = n
+			}
+			grown := make([]byte, got, newCap)
+			copy(grown, buf[:got])
+			buf = grown
+		}
+		buf = buf[:need]
+		if _, err := io.ReadFull(r, buf[got:need]); err != nil {
+			fr.buf = buf[:0]
+			return 0, nil, err
+		}
+		got = need
 	}
-	return body[0], body[1:], nil
+	fr.buf = buf
+	return buf[0], buf[1:], nil
+}
+
+// readFrame reads one frame with a throwaway buffer (setup-time helper;
+// steady-state readers hold a frameReader).
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var fr frameReader
+	return fr.read(r)
 }

@@ -76,18 +76,31 @@ func (r *Registry) Types() []string {
 
 // EncodePayload frames a payload as (type, body).
 func (r *Registry) EncodePayload(p proto.Payload) ([]byte, error) {
+	w := NewWriter()
+	if err := r.AppendPayload(w, p); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// AppendPayload appends the (type, body) frame of p to w. It is the
+// allocation-free sibling of EncodePayload: callers that reuse a pooled
+// writer (GetWriter/PutWriter, or a per-connection scratch writer) encode
+// into grown capacity without materializing a fresh buffer per message.
+// On error the writer may hold a partial frame; callers must Reset before
+// reuse.
+func (r *Registry) AppendPayload(w *Writer, p proto.Payload) error {
 	r.mu.RLock()
 	c, ok := r.codecs[p.Type()]
 	r.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownType, p.Type())
+		return fmt.Errorf("%w: %q", ErrUnknownType, p.Type())
 	}
-	w := NewWriter()
 	w.PutString(p.Type())
 	if err := c.Encode(w, p); err != nil {
-		return nil, fmt.Errorf("wire: encode %q: %w", p.Type(), err)
+		return fmt.Errorf("wire: encode %q: %w", p.Type(), err)
 	}
-	return w.Bytes(), nil
+	return nil
 }
 
 // countingPool recycles CountingWriters so SizeOf stays allocation-free

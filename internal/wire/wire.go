@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"adaptiveba/internal/crypto/sig"
 	"adaptiveba/internal/crypto/threshold"
@@ -40,6 +41,36 @@ type Writer struct {
 
 // NewWriter returns an empty writer.
 func NewWriter() *Writer { return &Writer{} }
+
+// Reset clears the writer for reuse, retaining the buffer's capacity.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.count = 0
+}
+
+// writerPool recycles Writers for hot encoding paths (the transport's
+// send path frames every outgoing message). A recycled writer keeps its
+// grown buffer, so steady-state encoding performs no allocations.
+var writerPool = sync.Pool{
+	New: func() any { return NewWriter() },
+}
+
+// GetWriter returns a pooled writer, reset and ready for use. Pair with
+// PutWriter once the encoded bytes have been consumed.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter recycles w. The caller must not retain w.Bytes() afterwards:
+// the buffer will be overwritten by the next GetWriter user.
+func PutWriter(w *Writer) {
+	if w == nil || w.counting {
+		return // counting writers have their own pool (Registry.SizeOf)
+	}
+	writerPool.Put(w)
+}
 
 // Bytes returns the encoded buffer (nil for a counting writer, which
 // never materializes one).
@@ -95,13 +126,16 @@ func (w *Writer) PutBytes(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
-// PutString appends a length-prefixed string.
+// PutString appends a length-prefixed string. The string is appended
+// directly (no []byte conversion), so the call never allocates beyond
+// buffer growth.
 func (w *Writer) PutString(s string) {
 	if w.counting {
 		w.count += 8 + len(s)
 		return
 	}
-	w.PutBytes([]byte(s))
+	w.PutUint64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
 }
 
 // PutValue appends a protocol value (⊥ encodes as the empty string).
