@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-json bench-sim-json bench-net-json experiments examples fuzz cover clean
+.PHONY: all build test test-short test-race vet bench bench-json bench-sim-json bench-net-json bench-engine-json experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -49,6 +49,14 @@ bench-sim-json:
 # state on the pooled path.
 bench-net-json:
 	$(GO) run ./cmd/adaptiveba-bench -bench-net-json BENCH_net.json
+
+# Regenerate the multi-session engine A/B baseline (BENCH_engine.json):
+# a 64-slot replicated log over BB at n in {9,17,33}, run serially
+# (inflight=1) and pipelined (inflight 4/16/64), asserting per-session
+# decisions and word counts byte-identical across windows and recording
+# the commit-throughput multiple in simulated (δ-bound) time.
+bench-engine-json:
+	$(GO) run ./cmd/adaptiveba-bench -bench-engine-json BENCH_engine.json
 
 # Regenerate every table/figure of the paper (EXPERIMENTS.md data).
 experiments:

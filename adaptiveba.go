@@ -5,11 +5,22 @@
 // resilience n = 2t+1, and a binary strong BA that is linear in the
 // failure-free case.
 //
-// The package offers three one-shot entry points — Broadcast, WeakAgree,
-// and StrongAgreeBinary — that execute a full protocol run on the
-// built-in deterministic synchronous simulator and report the decision
-// together with the paper's cost metrics (words sent by correct
-// processes). Fault injection is configured through Options.
+// The package's primary surface is context-aware and option-based:
+// BroadcastContext, WeakAgreeContext, StrongAgreeBinaryContext,
+// StrongAgreeContext, and ReplicateLogContext each execute a full
+// protocol run on the built-in deterministic synchronous simulator and
+// report the decision together with the paper's cost metrics (words
+// sent by correct processes); RunMany fans a whole batch of instances
+// out over the multi-session engine, pipelined up to the WithInflight
+// window. Fault injection and every other knob are functional Options
+// (WithFaults, WithPattern, WithSeed, WithRealSignatures, WithTrace,
+// WithThreshold, WithInflight); validation and cancellation failures
+// are typed sentinels (ErrBadN, ErrTooManyFaults, ErrNoQuorum,
+// ErrCanceled) matched with errors.Is.
+//
+// The earlier Options-struct entry points (Broadcast, WeakAgree,
+// StrongAgreeBinary, StrongAgree, ReplicateLog) remain as thin
+// wrappers and keep working; new code should prefer the context forms.
 //
 // For networked deployments, lower-level building blocks (the protocol
 // state machines, the TCP runtime, the adversary library, and the
@@ -57,6 +68,14 @@ type Options struct {
 	RealSignatures bool
 	// Trace, if non-nil, receives a per-message trace of the run.
 	Trace io.Writer
+	// Threshold overrides the corruption threshold t (default
+	// floor((n-1)/2), the paper's optimal n = 2t+1). N < 2t+1 fails
+	// with ErrNoQuorum.
+	Threshold int
+	// Inflight bounds how many sessions a multi-session run (RunMany,
+	// the replicated log) keeps in flight concurrently; 1 is strictly
+	// serial, 0 pipelines as deeply as the workload allows.
+	Inflight int
 }
 
 // Result reports a completed run.
@@ -97,13 +116,21 @@ var (
 // with process 0 as the designated sender broadcasting value. When the
 // sender stays correct, the decision is value at every correct process;
 // with a corrupted sender the decision is some common value or ⊥.
+//
+// Prefer BroadcastContext, which adds cancellation and functional
+// options; this struct form is kept for existing callers.
 func Broadcast(opts Options, value []byte) (*Result, error) {
+	return broadcastRun(opts, nil, value)
+}
+
+func broadcastRun(opts Options, halt func(types.Tick) bool, value []byte) (*Result, error) {
 	spec, err := baseSpec(opts)
 	if err != nil {
 		return nil, err
 	}
 	spec.Protocol = harness.ProtocolBB
 	spec.Value = types.Value(value).Clone()
+	spec.Halt = halt
 	return runSpec(spec)
 }
 
@@ -112,11 +139,19 @@ func Broadcast(opts Options, value []byte) (*Result, error) {
 // given validity predicate; a nil predicate accepts any non-empty value.
 // Unique validity guarantees the decision satisfies the predicate or is ⊥,
 // and ⊥ only when several valid values existed in the run.
+//
+// Prefer WeakAgreeContext, which adds cancellation and functional
+// options; this struct form is kept for existing callers.
 func WeakAgree(opts Options, inputs [][]byte, predicate func([]byte) bool) (*Result, error) {
+	return weakAgreeRun(opts, nil, inputs, predicate)
+}
+
+func weakAgreeRun(opts Options, halt func(types.Tick) bool, inputs [][]byte, predicate func([]byte) bool) (*Result, error) {
 	spec, err := baseSpec(opts)
 	if err != nil {
 		return nil, err
 	}
+	spec.Halt = halt
 	if len(inputs) != opts.N {
 		return nil, fmt.Errorf("%w: need %d inputs, got %d", ErrInputs, opts.N, len(inputs))
 	}
@@ -137,11 +172,19 @@ func WeakAgree(opts Options, inputs [][]byte, predicate func([]byte) bool) (*Res
 // StrongAgreeBinary runs the binary strong BA (Algorithm 5): inputs[i] is
 // process i's bit. If all correct processes propose the same bit, that
 // bit is the decision; the cost is O(n) words when no process fails.
+//
+// Prefer StrongAgreeBinaryContext, which adds cancellation and
+// functional options; this struct form is kept for existing callers.
 func StrongAgreeBinary(opts Options, inputs []bool) (*Result, error) {
+	return strongAgreeBinaryRun(opts, nil, inputs)
+}
+
+func strongAgreeBinaryRun(opts Options, halt func(types.Tick) bool, inputs []bool) (*Result, error) {
 	spec, err := baseSpec(opts)
 	if err != nil {
 		return nil, err
 	}
+	spec.Halt = halt
 	if len(inputs) != opts.N {
 		return nil, fmt.Errorf("%w: need %d inputs, got %d", ErrInputs, opts.N, len(inputs))
 	}
@@ -153,17 +196,34 @@ func StrongAgreeBinary(opts Options, inputs []bool) (*Result, error) {
 	return runSpec(spec)
 }
 
-// AgreeStrong runs multivalued strong Byzantine Agreement: if all correct
+// StrongAgree runs multivalued strong Byzantine Agreement: if all correct
 // processes propose the same value, that value is decided. Unlike the
-// adaptive protocols, its cost does not adapt to f — it is the quadratic+
+// adaptive protocols, its cost does not adapt to f — it is the quadratic
 // A_fallback (n parallel authenticated broadcasts and a plurality vote)
 // run directly, provided for completeness of the problem family (the
 // paper's Table 1 cites Momose–Ren for this row).
+//
+// Prefer StrongAgreeContext, which adds cancellation and functional
+// options; this struct form is kept for existing callers.
+func StrongAgree(opts Options, inputs [][]byte) (*Result, error) {
+	return strongAgreeRun(opts, nil, inputs)
+}
+
+// AgreeStrong is the former name of StrongAgree, kept as an alias so
+// existing callers compile unchanged.
+//
+// Deprecated: Use StrongAgree (or StrongAgreeContext). The name now
+// matches its siblings StrongAgreeBinary / StrongAgreeBinaryContext.
 func AgreeStrong(opts Options, inputs [][]byte) (*Result, error) {
+	return StrongAgree(opts, inputs)
+}
+
+func strongAgreeRun(opts Options, halt func(types.Tick) bool, inputs [][]byte) (*Result, error) {
 	spec, err := baseSpec(opts)
 	if err != nil {
 		return nil, err
 	}
+	spec.Halt = halt
 	if len(inputs) != opts.N {
 		return nil, fmt.Errorf("%w: need %d inputs, got %d", ErrInputs, opts.N, len(inputs))
 	}
@@ -188,20 +248,30 @@ func (r *Result) Bit() (bit, ok bool) {
 	return v.Equal(types.One), true
 }
 
-// baseSpec validates options into a harness spec.
+// baseSpec validates options into a harness spec. Failures carry the
+// typed sentinels (ErrBadN, ErrTooManyFaults, ErrNoQuorum), each of
+// which also matches the legacy ErrOptions class.
 func baseSpec(opts Options) (harness.Spec, error) {
 	if opts.N < 3 {
-		return harness.Spec{}, fmt.Errorf("%w: n=%d (need at least 3)", ErrOptions, opts.N)
+		return harness.Spec{}, fmt.Errorf("%w: n=%d (need at least 3)", ErrBadN, opts.N)
 	}
-	params, err := types.NewParams(opts.N)
-	if err != nil {
-		return harness.Spec{}, fmt.Errorf("%w: %v", ErrOptions, err)
+	var params types.Params
+	var err error
+	if opts.Threshold != 0 {
+		params, err = types.Custom(opts.N, opts.Threshold)
+		if err != nil {
+			return harness.Spec{}, fmt.Errorf("%w: n=%d cannot tolerate t=%d (%v)",
+				ErrNoQuorum, opts.N, opts.Threshold, err)
+		}
+	} else if params, err = types.NewParams(opts.N); err != nil {
+		return harness.Spec{}, fmt.Errorf("%w: %v", ErrBadN, err)
 	}
 	if opts.Faults < 0 || opts.Faults > params.T {
-		return harness.Spec{}, fmt.Errorf("%w: f=%d exceeds t=%d", ErrOptions, opts.Faults, params.T)
+		return harness.Spec{}, fmt.Errorf("%w: f=%d with t=%d", ErrTooManyFaults, opts.Faults, params.T)
 	}
 	spec := harness.Spec{
 		N:       opts.N,
+		T:       opts.Threshold,
 		F:       opts.Faults,
 		Seed:    opts.Seed,
 		Ed25519: opts.RealSignatures,

@@ -1,0 +1,335 @@
+package adaptiveba
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// apiGrid is the full fault-pattern grid the parity tests sweep.
+var apiGrid = []struct {
+	pattern FaultPattern
+	faults  []int
+}{
+	{FaultCrash, []int{0, 1, 2}},
+	{FaultCrashLeader, []int{1, 2}},
+	{FaultReplay, []int{1, 2}},
+}
+
+// TestAPIParityBroadcast proves the option-based context entry point
+// and the legacy struct form produce byte-identical Results over the
+// full fault-pattern grid.
+func TestAPIParityBroadcast(t *testing.T) {
+	const n = 5
+	for _, g := range apiGrid {
+		for _, f := range g.faults {
+			legacy, lerr := Broadcast(Options{N: n, Faults: f, Pattern: g.pattern, Seed: 42}, []byte("cmd"))
+			modern, merr := BroadcastContext(context.Background(), n, []byte("cmd"),
+				WithFaults(f), WithPattern(g.pattern), WithSeed(42))
+			if lerr != nil || merr != nil {
+				t.Fatalf("%s f=%d: legacy err %v, modern err %v", g.pattern, f, lerr, merr)
+			}
+			if !reflect.DeepEqual(legacy, modern) {
+				t.Errorf("%s f=%d: results differ\nlegacy: %+v\nmodern: %+v", g.pattern, f, legacy, modern)
+			}
+		}
+	}
+}
+
+func TestAPIParityWeakAgree(t *testing.T) {
+	const n = 5
+	inputs := make([][]byte, n)
+	for i := range inputs {
+		inputs[i] = []byte(fmt.Sprintf("v%d", i))
+	}
+	pred := func(b []byte) bool { return len(b) > 0 }
+	for _, g := range apiGrid {
+		for _, f := range g.faults {
+			legacy, lerr := WeakAgree(Options{N: n, Faults: f, Pattern: g.pattern, Seed: 42}, inputs, pred)
+			modern, merr := WeakAgreeContext(context.Background(), n, inputs, pred,
+				WithFaults(f), WithPattern(g.pattern), WithSeed(42))
+			if lerr != nil || merr != nil {
+				t.Fatalf("%s f=%d: legacy err %v, modern err %v", g.pattern, f, lerr, merr)
+			}
+			if !reflect.DeepEqual(legacy, modern) {
+				t.Errorf("%s f=%d: results differ\nlegacy: %+v\nmodern: %+v", g.pattern, f, legacy, modern)
+			}
+		}
+	}
+}
+
+func TestAPIParityStrongAgreeBinary(t *testing.T) {
+	const n = 5
+	inputs := []bool{true, false, true, false, true}
+	for _, g := range apiGrid {
+		for _, f := range g.faults {
+			legacy, lerr := StrongAgreeBinary(Options{N: n, Faults: f, Pattern: g.pattern, Seed: 42}, inputs)
+			modern, merr := StrongAgreeBinaryContext(context.Background(), n, inputs,
+				WithFaults(f), WithPattern(g.pattern), WithSeed(42))
+			if lerr != nil || merr != nil {
+				t.Fatalf("%s f=%d: legacy err %v, modern err %v", g.pattern, f, lerr, merr)
+			}
+			if !reflect.DeepEqual(legacy, modern) {
+				t.Errorf("%s f=%d: results differ\nlegacy: %+v\nmodern: %+v", g.pattern, f, legacy, modern)
+			}
+		}
+	}
+}
+
+// TestAPIParityStrongAgree covers the naming fix all at once: the
+// canonical StrongAgree, the deprecated AgreeStrong alias, and the
+// context form all agree byte for byte.
+func TestAPIParityStrongAgree(t *testing.T) {
+	const n = 5
+	inputs := make([][]byte, n)
+	for i := range inputs {
+		inputs[i] = []byte("same")
+	}
+	for _, g := range apiGrid {
+		for _, f := range g.faults {
+			opts := Options{N: n, Faults: f, Pattern: g.pattern, Seed: 42}
+			canonical, cerr := StrongAgree(opts, inputs)
+			alias, aerr := AgreeStrong(opts, inputs)
+			modern, merr := StrongAgreeContext(context.Background(), n, inputs,
+				WithFaults(f), WithPattern(g.pattern), WithSeed(42))
+			if cerr != nil || aerr != nil || merr != nil {
+				t.Fatalf("%s f=%d: errs %v / %v / %v", g.pattern, f, cerr, aerr, merr)
+			}
+			if !reflect.DeepEqual(canonical, alias) {
+				t.Errorf("%s f=%d: AgreeStrong alias diverges from StrongAgree", g.pattern, f)
+			}
+			if !reflect.DeepEqual(canonical, modern) {
+				t.Errorf("%s f=%d: results differ\nlegacy: %+v\nmodern: %+v", g.pattern, f, canonical, modern)
+			}
+		}
+	}
+}
+
+func TestAPIParityReplicateLog(t *testing.T) {
+	const n, slots = 5, 5
+	queues := make([][][]byte, n)
+	for i := range queues {
+		queues[i] = [][]byte{[]byte(fmt.Sprintf("SET k%d p%d", i, i))}
+	}
+	legacy, lerr := ReplicateLog(Options{N: n, Faults: 1, Seed: 42}, queues, slots)
+	modern, merr := ReplicateLogContext(context.Background(), n, queues, slots,
+		WithFaults(1), WithSeed(42))
+	if lerr != nil || merr != nil {
+		t.Fatalf("legacy err %v, modern err %v", lerr, merr)
+	}
+	if !reflect.DeepEqual(legacy, modern) {
+		t.Errorf("results differ\nlegacy: %+v\nmodern: %+v", legacy, modern)
+	}
+}
+
+// TestSentinelErrors pins the typed error identities — and that each
+// still matches the legacy broad class existing callers test for.
+func TestSentinelErrors(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		err  func() error
+		want []error
+	}{
+		{"bad n", func() error {
+			_, err := BroadcastContext(ctx, 2, []byte("v"))
+			return err
+		}, []error{ErrBadN, ErrOptions}},
+		{"too many faults", func() error {
+			_, err := BroadcastContext(ctx, 5, []byte("v"), WithFaults(3))
+			return err
+		}, []error{ErrTooManyFaults, ErrOptions}},
+		{"no quorum", func() error {
+			_, err := BroadcastContext(ctx, 5, []byte("v"), WithThreshold(3))
+			return err
+		}, []error{ErrNoQuorum, ErrOptions}},
+		{"legacy bad n", func() error {
+			_, err := Broadcast(Options{N: 2}, []byte("v"))
+			return err
+		}, []error{ErrBadN, ErrOptions}},
+		{"legacy too many faults", func() error {
+			_, err := WeakAgree(Options{N: 5, Faults: 9}, nil, nil)
+			return err
+		}, []error{ErrTooManyFaults, ErrOptions}},
+		{"run many bad pattern", func() error {
+			_, err := RunMany(ctx, BroadcastRequest(5, 0, []byte("v"), WithPattern(FaultReplay)))
+			return err
+		}, []error{ErrOptions}},
+		{"run many mixed n", func() error {
+			_, err := RunMany(ctx, BroadcastRequest(5, 0, []byte("v")), BroadcastRequest(7, 0, []byte("v")))
+			return err
+		}, []error{ErrBadN, ErrOptions}},
+		{"run many empty", func() error {
+			_, err := RunMany(ctx)
+			return err
+		}, []error{ErrInputs}},
+	}
+	for _, c := range cases {
+		err := c.err()
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		for _, want := range c.want {
+			if !errors.Is(err, want) {
+				t.Errorf("%s: errors.Is(%v, %v) = false", c.name, err, want)
+			}
+		}
+	}
+}
+
+// TestContextCancellation covers both halt paths: a context canceled
+// before the run starts, and one canceled mid-run (triggered from the
+// trace stream). Both must return ErrCanceled promptly — which also
+// matches context.Canceled — and leak no goroutines (the run is fully
+// synchronous, checked by goroutine counting).
+func TestContextCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BroadcastContext(pre, 9, []byte("v")); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled: err = %v, want ErrCanceled", err)
+	} else if !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-canceled: err %v does not match context.Canceled", err)
+	}
+
+	// Mid-run: the trace writer observes traffic while the simulator is
+	// inside the run, so canceling from it exercises the per-tick poll.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tracer := &cancelAfter{cancel: cancel, after: 3}
+	if _, err := BroadcastContext(ctx, 9, []byte("v"), WithTrace(tracer)); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-run: err = %v, want ErrCanceled", err)
+	}
+	if tracer.writes > tracer.after+64 {
+		t.Errorf("cancellation was not prompt: %d trace writes after trigger", tracer.writes-tracer.after)
+	}
+
+	// RunMany through the engine honors cancellation too.
+	if _, err := RunMany(pre, BroadcastRequest(5, 0, []byte("v"))); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("RunMany pre-canceled: err = %v, want ErrCanceled", err)
+	}
+
+	// goleak-style check: no goroutine outlives a canceled run.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before, %d after canceled runs", before, after)
+	}
+}
+
+// cancelAfter cancels a context after `after` writes, then keeps
+// counting so the test can bound how much work ran post-cancel.
+type cancelAfter struct {
+	cancel context.CancelFunc
+	after  int
+	writes int
+}
+
+func (c *cancelAfter) Write(p []byte) (int, error) {
+	c.writes++
+	if c.writes == c.after {
+		c.cancel()
+	}
+	return len(p), nil
+}
+
+// TestRunManyMatchesSolo proves the fan-out changes nothing observable:
+// every RunMany result carries the same decision and word count as a
+// solo run of the same instance, at any in-flight window.
+func TestRunManyMatchesSolo(t *testing.T) {
+	const n = 5
+	wbaInputs := make([][]byte, n)
+	for i := range wbaInputs {
+		wbaInputs[i] = []byte("w")
+	}
+	bits := []bool{true, true, true, true, true}
+
+	soloBB, err := Broadcast(Options{N: n, Faults: 1}, []byte("cmd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloWBA, err := WeakAgree(Options{N: n, Faults: 1}, wbaInputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloSBA, err := StrongAgreeBinary(Options{N: n, Faults: 1}, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := []*Result{soloBB, soloWBA, soloSBA}
+
+	var serial []*Result
+	for _, w := range []int{1, 3} {
+		results, err := RunMany(context.Background(),
+			BroadcastRequest(n, 0, []byte("cmd"), WithFaults(1), WithInflight(w)),
+			WeakAgreeRequest(n, wbaInputs, nil),
+			StrongAgreeBinaryRequest(n, bits),
+		)
+		if err != nil {
+			t.Fatalf("W=%d: %v", w, err)
+		}
+		if len(results) != 3 {
+			t.Fatalf("W=%d: %d results", w, len(results))
+		}
+		for i, r := range results {
+			if !r.AllDecided || !r.Agreement {
+				t.Errorf("W=%d request %d: decided=%t agree=%t", w, i, r.AllDecided, r.Agreement)
+			}
+			if !bytes.Equal(r.Decision, solo[i].Decision) {
+				t.Errorf("W=%d request %d: decision %q, solo %q", w, i, r.Decision, solo[i].Decision)
+			}
+			if r.Words != solo[i].Words {
+				t.Errorf("W=%d request %d: words %d, solo %d", w, i, r.Words, solo[i].Words)
+			}
+			if r.FallbackProcesses != solo[i].FallbackProcesses {
+				t.Errorf("W=%d request %d: fallback %d, solo %d", w, i, r.FallbackProcesses, solo[i].FallbackProcesses)
+			}
+		}
+		if w == 1 {
+			serial = results
+			continue
+		}
+		for i := range results {
+			if !reflect.DeepEqual(results[i], serial[i]) {
+				t.Errorf("W=%d request %d diverges from serial: %+v vs %+v", w, i, results[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestReplicateLogInflight pins the pipelined log against the serial
+// one: WithInflight changes throughput, never a committed entry.
+func TestReplicateLogInflight(t *testing.T) {
+	const n, slots = 5, 6
+	queues := make([][][]byte, n)
+	for i := range queues {
+		queues[i] = [][]byte{[]byte(fmt.Sprintf("SET k%d p%d", i, i)), []byte(fmt.Sprintf("DEL k%d", i))}
+	}
+	serial, err := ReplicateLogContext(context.Background(), n, queues, slots, WithFaults(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := ReplicateLogContext(context.Background(), n, queues, slots, WithFaults(1), WithInflight(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Agreement || !piped.Agreement {
+		t.Fatalf("agreement: serial=%t piped=%t", serial.Agreement, piped.Agreement)
+	}
+	if !reflect.DeepEqual(serial.Entries, piped.Entries) {
+		t.Errorf("pipelining changed the log:\nserial: %+v\npiped: %+v", serial.Entries, piped.Entries)
+	}
+	if serial.Words != piped.Words {
+		t.Errorf("pipelining changed the cost: serial %d words, piped %d", serial.Words, piped.Words)
+	}
+}

@@ -47,6 +47,9 @@ func run(args []string, out io.Writer) error {
 		benchOut = fs.String("bench-json", "", "run the sweep cached AND uncached, write a machine-readable A/B report to this path")
 		benchSim = fs.String("bench-sim-json", "", "run the sweep serial AND parallel (tick workers 1 vs GOMAXPROCS), write a machine-readable A/B report to this path")
 		benchNet = fs.String("bench-net-json", "", "A/B the transport send paths (batched vs -legacy-send) over loopback TCP, write a machine-readable report to this path")
+		benchEng = fs.String("bench-engine-json", "", "A/B the multi-session engine's pipelined replicated log against serial slot-at-a-time execution, write a machine-readable report to this path")
+		sessions = fs.Int("sessions", 64, "engine A/B: total log slots per run")
+		inflight = fs.String("inflight", "1,4,16,64", "engine A/B: admission windows to measure (comma-separated; serial baseline first)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +76,27 @@ func run(args []string, out io.Writer) error {
 			CountOps:    true,
 			TickWorkers: *tickW,
 		}, ns, fvals)
+	}
+	if *benchEng != "" {
+		// The engine A/B has its own default mesh sizes; -ns overrides.
+		nsStr, explicit := "9,17,33", false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "ns" {
+				explicit = true
+			}
+		})
+		if explicit {
+			nsStr = *nsFlag
+		}
+		ns, err := parseInts(nsStr)
+		if err != nil {
+			return fmt.Errorf("-ns: %w", err)
+		}
+		windows, err := parseInts(*inflight)
+		if err != nil {
+			return fmt.Errorf("-inflight: %w", err)
+		}
+		return runBenchEngineJSON(out, *benchEng, ns, *sessions, windows)
 	}
 	if *benchNet != "" {
 		// The network A/B has its own default mesh sizes; -ns overrides.

@@ -57,6 +57,9 @@ func run(args []string, out io.Writer) error {
 		reps     = fs.Int("reps", 1, "repetitions with derived seeds (> 1 prints a min/median/max summary)")
 		workers  = fs.Int("parallel", 0, "worker count for -reps runs (0 = one per CPU, 1 = sequential)")
 		tickW    = fs.Int("tick-workers", 0, "per-tick worker count inside one run (0 = one per CPU, 1 = serial); any value yields identical output")
+		sessions = fs.Int("sessions", 1, "run this many concurrent instances of the protocol through the multi-session engine (bb | wba | strongba only)")
+		inflight = fs.Int("inflight", 0, "engine admission window: max sessions in flight (0 = all at once, 1 = strictly serial)")
+		maxqueue = fs.Int("maxqueue", 0, "engine queue bound behind the window: 0 = unbounded, > 0 sheds requests beyond inflight+maxqueue, < 0 sheds everything beyond the window")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +84,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *trace {
 		spec.Trace = out
+	}
+	if *sessions > 1 {
+		return runEngine(out, spec, *sessions, *inflight, *maxqueue)
 	}
 	if *reps > 1 {
 		return runReps(out, spec, *reps, *workers)
@@ -115,6 +121,39 @@ func run(args []string, out io.Writer) error {
 	}
 	if !o.Agreement || !o.Decided {
 		return fmt.Errorf("run violated agreement or termination")
+	}
+	return nil
+}
+
+// runEngine pushes the spec through the multi-session engine and prints
+// the admission outcome plus per-session results.
+func runEngine(out io.Writer, spec harness.Spec, sessions, inflight, maxqueue int) error {
+	rep, err := harness.RunEngine(spec, sessions, inflight, maxqueue)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "protocol    %s × %d sessions\n", spec.Protocol, sessions)
+	fmt.Fprintf(out, "n, t, f     %d, %d, %d\n", rep.N, rep.T, rep.F)
+	fmt.Fprintf(out, "admission   %d accepted, %d queued, %d rejected (window %d)\n",
+		rep.Accepted, rep.Queued, rep.Rejected, inflight)
+	fmt.Fprintf(out, "schedule    stride %d, session %d, total %d ticks (δ)\n",
+		rep.Stride, rep.SessionTicks, rep.Ticks)
+	fmt.Fprintf(out, "words       %d total\n", rep.Metrics.Honest.Words)
+	fmt.Fprintln(out, "\nper-session:")
+	violated := false
+	for _, s := range rep.Sessions {
+		if s.Rejected {
+			fmt.Fprintf(out, "  %-6s rejected (admission policy)\n", s.Name)
+			continue
+		}
+		fmt.Fprintf(out, "  %-6s start %-5d decision %-10q agree=%-5v words %-6d fallback %d\n",
+			s.Name, s.Start, []byte(s.Decision), s.Agreement, s.Words, s.FallbackProcs)
+		if !s.Agreement || !s.AllDecided {
+			violated = true
+		}
+	}
+	if violated || rep.TimedOut {
+		return fmt.Errorf("engine run violated agreement or termination")
 	}
 	return nil
 }

@@ -1,0 +1,660 @@
+// Package engine runs many agreement instances — BB, weak BA, binary
+// strong BA, and SMR log slots — in flight simultaneously over one
+// shared simulator run and crypto suite. It is the multi-session
+// scheduler behind adaptiveba.RunMany and the pipelined replicated log:
+// each instance lives in its own session, inbound traffic is demuxed to
+// per-session protocol machines by session ID (proto.Mux), and the
+// per-engine report aggregates per-session word/message/round metrics.
+//
+// # Admission and backpressure
+//
+// In-flight sessions are bounded by an admission window of Inflight
+// concurrent instances. Requests beyond the window wait their turn
+// (surfaced as EngineQueued); when a queue bound is set, requests
+// beyond window+queue are shed outright rather than blocking the run —
+// the transport outbox's drop-not-block policy applied to admission —
+// and surfaced as EngineRejects.
+//
+// # Scheduling and determinism
+//
+// Synchronous processes cannot observe when *other* processes finish a
+// session, so admission cannot react to completions without extra
+// agreement traffic. Instead the engine uses a static stride schedule:
+// with D the worst-case duration of the longest session and W the
+// window, session k begins at tick k·ceil(D/W) on every process. The
+// schedule is a pure function of the request index, so all correct
+// processes open, serve, and retire every session at identical ticks —
+// at most W sessions are ever live, W=1 reduces to strictly serial
+// one-at-a-time execution, and because sessions are isolated by session
+// ID and machines are tick-offset invariant (their round clocks anchor
+// at Begin), per-session decisions and word counts are byte-identical
+// at every window size.
+package engine
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"adaptiveba/internal/adversary"
+	"adaptiveba/internal/core/bb"
+	"adaptiveba/internal/core/strongba"
+	"adaptiveba/internal/core/valid"
+	"adaptiveba/internal/core/wba"
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/metrics"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+	"adaptiveba/internal/wire"
+)
+
+// Kind selects the protocol an individual session runs.
+type Kind string
+
+// Session kinds.
+const (
+	// KindBB is the paper's adaptive Byzantine Broadcast (Alg. 1+2).
+	KindBB Kind = "bb"
+	// KindWBA is the paper's adaptive weak BA (Alg. 3+4).
+	KindWBA Kind = "wba"
+	// KindStrongBA is the paper's binary strong BA (Alg. 5).
+	KindStrongBA Kind = "strongba"
+)
+
+// Request describes one agreement instance to run.
+type Request struct {
+	Kind Kind
+	// Sender is the BB designated sender (KindBB only).
+	Sender types.ProcessID
+	// Value is the BB broadcast value / unanimous agreement input
+	// (default "v"; binary protocols use 1).
+	Value types.Value
+	// Inputs, when non-nil, assigns each process its own input (length
+	// N) and overrides Value for the agreement protocols.
+	Inputs []types.Value
+	// Predicate overrides weak BA's validity predicate (default: accept
+	// any non-⊥ value).
+	Predicate func(types.Value) bool
+}
+
+// Config parameterizes one engine run.
+type Config struct {
+	N int
+	// T overrides the corruption threshold (default floor((n-1)/2)).
+	T int
+	// F crashes that many processes at tick 0 for the whole run (every
+	// session sees the same failure pattern, as one deployment would).
+	F int
+	// LeaderFault crashes processes 0..F-1 (taking out the default BB
+	// sender) instead of the default 1..F.
+	LeaderFault bool
+	// Inflight bounds the number of concurrently live sessions (the
+	// admission window W). 0 admits as many as requested; 1 runs
+	// sessions strictly serially.
+	Inflight int
+	// MaxQueue bounds how many admitted sessions may wait behind the
+	// window: 0 means an unbounded queue (every request is eventually
+	// served), a positive value sheds requests beyond Inflight+MaxQueue
+	// (drop-not-block; see Report.Rejected), and a negative value sheds
+	// everything beyond the window itself.
+	MaxQueue int
+	// Seed derives the HMAC key ring (ignored with Ed25519).
+	Seed int64
+	// Ed25519 switches from the fast HMAC scheme to real signatures.
+	Ed25519 bool
+	// Tag domain-separates this engine's signatures (default "eng");
+	// session k signs under Tag + "/sk", so instances cannot replay
+	// each other's certificates.
+	Tag string
+	// Trace, if set, receives the message trace.
+	Trace io.Writer
+	// TickWorkers bounds the simulator's per-tick fan-out (0 = one per
+	// CPU, 1 = serial); output is byte-identical at any value.
+	TickWorkers int
+	// Halt, if set, is polled every tick; returning true aborts the run
+	// with sim.ErrHalted (the cancellation hook for context callers).
+	Halt func(types.Tick) bool
+	// Recorder, if set, receives the run's metrics (a fresh one is
+	// created otherwise).
+	Recorder *metrics.Recorder
+}
+
+// Errors returned by Run.
+var (
+	ErrConfig     = errors.New("engine: invalid configuration")
+	ErrNoSessions = errors.New("engine: no sessions requested")
+)
+
+// SessionResult is the outcome of one session.
+type SessionResult struct {
+	Index int
+	Name  string // session ID on the wire ("s<Index>")
+	Kind  Kind
+	// Rejected marks sessions shed by the admission policy; all result
+	// fields below are zero for them.
+	Rejected bool
+	// Queued marks sessions that waited behind the in-flight window.
+	Queued bool
+	// Start is the tick the session began on every process.
+	Start types.Tick
+
+	// Decisions maps every honest process to its output for this
+	// session (present only if it decided).
+	Decisions  map[types.ProcessID]types.Value
+	Decision   types.Value
+	Agreement  bool
+	AllDecided bool
+
+	Words    int64
+	Messages int64
+	// FallbackProcs counts honest processes that executed A_fallback in
+	// this session.
+	FallbackProcs int
+	// DecisionTick is the latest tick at which an honest process decided
+	// this session (absolute; subtract Start for the session's decision
+	// latency in δ units).
+	DecisionTick types.Tick
+	// ByLayer is the session's word breakdown with the session prefix
+	// stripped, so it lines up with a solo run of the same protocol
+	// ("(root)", "wba", "wba/fallback", ...).
+	ByLayer map[string]metrics.Stats
+}
+
+// Report is the aggregate outcome of an engine run.
+type Report struct {
+	N, T, F  int
+	Sessions []SessionResult
+	Accepted int
+	Rejected int
+	Queued   int
+	// Stride is the tick offset between consecutive session starts;
+	// SessionTicks is the per-session schedule length D (sessions are
+	// retired D ticks after starting).
+	Stride       types.Tick
+	SessionTicks types.Tick
+	Ticks        types.Tick
+	TimedOut     bool
+	Metrics      metrics.Report
+}
+
+// Fingerprint canonically renders per-session observables — decisions
+// of every honest process, word and message counts — for byte-identical
+// comparison across window sizes (pipelined vs serial execution).
+func (r *Report) Fingerprint() string {
+	var b strings.Builder
+	for i := range r.Sessions {
+		s := &r.Sessions[i]
+		if s.Rejected {
+			fmt.Fprintf(&b, "%s rejected\n", s.Name)
+			continue
+		}
+		fmt.Fprintf(&b, "%s kind=%s words=%d msgs=%d decided=%t agree=%t:",
+			s.Name, s.Kind, s.Words, s.Messages, s.AllDecided, s.Agreement)
+		ids := make([]int, 0, len(s.Decisions))
+		for id := range s.Decisions {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fmt.Fprintf(&b, " %d=%q", id, []byte(s.Decisions[types.ProcessID(id)]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Run executes the requested sessions to completion (or Halt/MaxTicks).
+func Run(cfg Config, reqs []Request) (*Report, error) {
+	if len(reqs) == 0 {
+		return nil, ErrNoSessions
+	}
+	if cfg.N < 3 {
+		return nil, fmt.Errorf("%w: n=%d", ErrConfig, cfg.N)
+	}
+	var params types.Params
+	var err error
+	if cfg.T > 0 {
+		params, err = types.Custom(cfg.N, cfg.T)
+	} else {
+		params, err = types.NewParams(cfg.N)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if cfg.F < 0 || cfg.F > params.T {
+		return nil, fmt.Errorf("%w: f=%d with t=%d", ErrConfig, cfg.F, params.T)
+	}
+	tag := cfg.Tag
+	if tag == "" {
+		tag = "eng"
+	}
+
+	var scheme sig.Scheme
+	if cfg.Ed25519 {
+		scheme, err = sig.NewEd25519Ring(cfg.N, rand.Reader)
+	} else {
+		scheme, err = sig.NewHMACRing(cfg.N, []byte(fmt.Sprintf("engine-%d", cfg.Seed)))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("engine: scheme: %w", err)
+	}
+	crypto := proto.NewCrypto(params, scheme, threshold.ModeCompact, []byte("engine-dealer"))
+
+	// Admission: window W, optional queue bound, drop-not-block beyond.
+	total := len(reqs)
+	window := cfg.Inflight
+	if window <= 0 || window > total {
+		window = total
+	}
+	accepted := total
+	switch {
+	case cfg.MaxQueue > 0:
+		if lim := window + cfg.MaxQueue; accepted > lim {
+			accepted = lim
+		}
+	case cfg.MaxQueue < 0:
+		accepted = window
+	}
+
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = metrics.NewRecorder()
+	}
+	for k := window; k < accepted; k++ {
+		rec.RecordEngineQueued()
+	}
+	for k := accepted; k < total; k++ {
+		rec.RecordEngineReject()
+	}
+
+	b := &builder{params: params, crypto: crypto, tag: tag, reqs: reqs[:accepted]}
+	var slotTicks types.Tick
+	for k := range b.reqs {
+		d, err := b.duration(k)
+		if err != nil {
+			return nil, err
+		}
+		if d > slotTicks {
+			slotTicks = d
+		}
+	}
+	stride := (slotTicks + types.Tick(window) - 1) / types.Tick(window)
+	if stride < 1 {
+		stride = 1
+	}
+	starts := make([]types.Tick, accepted)
+	names := make([]string, accepted)
+	for k := range starts {
+		starts[k] = types.Tick(k) * stride
+		names[k] = "s" + strconv.Itoa(k)
+	}
+	maxTicks := starts[accepted-1] + 2*slotTicks
+
+	procs := make([]*procMachine, cfg.N)
+	factory := func(id types.ProcessID) proto.Machine {
+		p := &procMachine{
+			id:       id,
+			build:    b.machine,
+			starts:   starts,
+			names:    names,
+			duration: slotTicks,
+			mux:      proto.NewMux(),
+			children: make([]proto.Machine, accepted),
+		}
+		procs[id] = p
+		return p
+	}
+
+	var adv sim.Adversary
+	if cfg.F > 0 {
+		ids := make([]types.ProcessID, 0, cfg.F)
+		start := 1
+		if cfg.LeaderFault {
+			start = 0
+		}
+		for i := 0; len(ids) < cfg.F; i++ {
+			ids = append(ids, types.ProcessID((start+i)%cfg.N))
+		}
+		adv = adversary.NewCrash(ids...)
+	}
+
+	res, err := sim.Run(sim.Config{
+		Params:    params,
+		Crypto:    crypto,
+		Factory:   factory,
+		Adversary: adv,
+		MaxTicks:  maxTicks,
+		Recorder:  rec,
+		Trace:     cfg.Trace,
+		Workers:   cfg.TickWorkers,
+		Halt:      cfg.Halt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+
+	// Demux losses: messages for already-retired sessions are discarded
+	// and counted, never silently dropped.
+	var late int64
+	for _, p := range procs {
+		if p != nil && p.mux != nil {
+			late += p.mux.Late() + p.mux.Unrouted()
+		}
+	}
+	if late > 0 {
+		rec.RecordEngineLate(late)
+	}
+
+	rep := &Report{
+		N: cfg.N, T: params.T, F: cfg.F,
+		Sessions:     make([]SessionResult, total),
+		Accepted:     accepted,
+		Rejected:     total - accepted,
+		Queued:       max(0, accepted-window),
+		Stride:       stride,
+		SessionTicks: slotTicks,
+		Ticks:        res.Ticks,
+		TimedOut:     res.TimedOut,
+		Metrics:      rec.Snapshot(),
+	}
+	perLayer := splitLayers(rep.Metrics.ByLayer)
+	for k := range rep.Sessions {
+		s := &rep.Sessions[k]
+		s.Index, s.Name, s.Kind = k, "s"+strconv.Itoa(k), reqs[k].Kind
+		if s.Kind == "" {
+			s.Kind = KindBB
+		}
+		if k >= accepted {
+			s.Rejected = true
+			continue
+		}
+		s.Queued = k >= window
+		s.Start = starts[k]
+		s.Decisions = make(map[types.ProcessID]types.Value)
+		s.AllDecided = true
+		for _, id := range res.Honest {
+			m := procs[id].children[k]
+			if m == nil {
+				s.AllDecided = false
+				continue
+			}
+			if v, ok := m.Output(); ok {
+				s.Decisions[id] = v
+			} else {
+				s.AllDecided = false
+			}
+			switch mm := m.(type) {
+			case *bb.Machine:
+				if mm.WBA() != nil && mm.WBA().RanFallback() {
+					s.FallbackProcs++
+				}
+				if dt := mm.DecidedAtTick(); dt > s.DecisionTick {
+					s.DecisionTick = dt
+				}
+			case *wba.Machine:
+				if mm.RanFallback() {
+					s.FallbackProcs++
+				}
+				if dt := mm.DecidedAtTick(); dt > s.DecisionTick {
+					s.DecisionTick = dt
+				}
+			case *strongba.Machine:
+				if mm.RanFallback() {
+					s.FallbackProcs++
+				}
+				if dt := mm.DecidedAtTick(); dt > s.DecisionTick {
+					s.DecisionTick = dt
+				}
+			}
+		}
+		s.Decision, s.Agreement = agreementOf(s.Decisions, res.Honest)
+		if ls := perLayer[s.Name]; ls != nil {
+			s.ByLayer = ls
+			for _, st := range ls {
+				s.Words += st.Words
+				s.Messages += st.Messages
+			}
+		}
+	}
+	return rep, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// agreementOf mirrors sim.Result.Agreement for one session's decisions.
+func agreementOf(dec map[types.ProcessID]types.Value, honest []types.ProcessID) (types.Value, bool) {
+	var v types.Value
+	first := true
+	for _, id := range honest {
+		d, ok := dec[id]
+		if !ok {
+			continue
+		}
+		if first {
+			v, first = d, false
+			continue
+		}
+		if !d.Equal(v) {
+			return nil, false
+		}
+	}
+	return v, true
+}
+
+// splitLayers groups the engine-wide layer breakdown by leading session
+// segment, stripping the prefix so each session's map matches a solo
+// run's layers.
+func splitLayers(byLayer map[string]metrics.Stats) map[string]map[string]metrics.Stats {
+	out := make(map[string]map[string]metrics.Stats)
+	for layer, st := range byLayer {
+		head, rest := proto.SplitSession(layer)
+		if rest == "" {
+			rest = "(root)"
+		}
+		m := out[head]
+		if m == nil {
+			m = make(map[string]metrics.Stats)
+			out[head] = m
+		}
+		m[rest] = st
+	}
+	return out
+}
+
+// builder constructs per-session protocol machines.
+type builder struct {
+	params types.Params
+	crypto *proto.Crypto
+	tag    string
+	reqs   []Request
+	err    error
+}
+
+func (b *builder) sessionTag(k int) string {
+	return fmt.Sprintf("%s/s%d", b.tag, k)
+}
+
+func (b *builder) inputFor(k int, id types.ProcessID, binary bool) types.Value {
+	req := &b.reqs[k]
+	if req.Inputs != nil {
+		if int(id) < len(req.Inputs) {
+			return req.Inputs[id]
+		}
+		return nil
+	}
+	if req.Value != nil {
+		if binary && !req.Value.IsBinary() {
+			return types.One
+		}
+		return req.Value
+	}
+	if binary {
+		return types.One
+	}
+	return types.Value("v")
+}
+
+// duration returns session k's worst-case schedule length (its
+// machine's MaxTicks bound), validating the request.
+func (b *builder) duration(k int) (types.Tick, error) {
+	req := &b.reqs[k]
+	switch req.Kind {
+	case KindBB, "":
+		return bb.NewMachine(b.bbConfig(k, 0)).MaxTicks(), nil
+	case KindWBA:
+		return wba.NewMachine(b.wbaConfig(k, 0)).MaxTicks(), nil
+	case KindStrongBA:
+		m, err := strongba.NewMachine(b.sbaConfig(k, 0))
+		if err != nil {
+			return 0, fmt.Errorf("%w: session %d: %v", ErrConfig, k, err)
+		}
+		return m.MaxTicks(), nil
+	default:
+		return 0, fmt.Errorf("%w: session %d: unknown kind %q", ErrConfig, k, req.Kind)
+	}
+}
+
+// machine builds session k's machine for process id.
+func (b *builder) machine(k int, id types.ProcessID) proto.Machine {
+	switch b.reqs[k].Kind {
+	case KindWBA:
+		return wba.NewMachine(b.wbaConfig(k, id))
+	case KindStrongBA:
+		m, err := strongba.NewMachine(b.sbaConfig(k, id))
+		if err != nil {
+			if b.err == nil {
+				b.err = fmt.Errorf("%w: session %d process %v: %v", ErrConfig, k, id, err)
+			}
+			m, _ = strongba.NewMachine(b.sbaConfig(k, 0))
+		}
+		return m
+	default:
+		return bb.NewMachine(b.bbConfig(k, id))
+	}
+}
+
+func (b *builder) bbConfig(k int, id types.ProcessID) bb.Config {
+	req := &b.reqs[k]
+	value := req.Value
+	if value == nil {
+		value = types.Value("v")
+	}
+	return bb.Config{
+		Params: b.params, Crypto: b.crypto, ID: id,
+		Sender: req.Sender, Input: value, Tag: b.sessionTag(k),
+	}
+}
+
+func (b *builder) wbaConfig(k int, id types.ProcessID) wba.Config {
+	req := &b.reqs[k]
+	pred := valid.NonBottom()
+	if req.Predicate != nil {
+		pred = valid.Func{PredicateName: "custom", Fn: req.Predicate}
+	}
+	return wba.Config{
+		Params: b.params, Crypto: b.crypto, ID: id,
+		Input: b.inputFor(k, id, false), Predicate: pred,
+		Tag: b.sessionTag(k),
+	}
+}
+
+func (b *builder) sbaConfig(k int, id types.ProcessID) strongba.Config {
+	return strongba.Config{
+		Params: b.params, Crypto: b.crypto, ID: id,
+		Input: b.inputFor(k, id, true), Tag: b.sessionTag(k),
+	}
+}
+
+// procMachine is one process's root machine: a Mux of per-session
+// protocol machines driven by the static admission schedule. Admission,
+// service, and retirement are pure functions of the tick, so every
+// correct process transitions in lockstep.
+type procMachine struct {
+	id       types.ProcessID
+	build    func(k int, id types.ProcessID) proto.Machine
+	starts   []types.Tick
+	names    []string
+	duration types.Tick
+
+	mux      *proto.Mux
+	children []proto.Machine // retained past retirement for result extraction
+	next     int             // next session index to admit
+	retired  int             // next session index to retire
+	outs     []proto.Outgoing
+}
+
+var _ proto.Machine = (*procMachine)(nil)
+
+func (p *procMachine) Begin(now types.Tick) []proto.Outgoing {
+	return p.admit(now, nil)
+}
+
+// admit opens every session scheduled at now, appending its Begin
+// traffic after prior (already wrapped and mux-owned) outputs.
+func (p *procMachine) admit(now types.Tick, prior []proto.Outgoing) []proto.Outgoing {
+	if p.next >= len(p.starts) || p.starts[p.next] != now {
+		return prior
+	}
+	outs := append(p.outs[:0], prior...)
+	for p.next < len(p.starts) && p.starts[p.next] == now {
+		k := p.next
+		p.next++
+		m := p.build(k, p.id)
+		p.children[k] = m
+		outs = append(outs, p.mux.Add(p.names[k], m).Begin(now)...)
+	}
+	p.outs = outs
+	return outs
+}
+
+func (p *procMachine) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing {
+	// Retire sessions whose schedule has elapsed: machines are done (or
+	// out of budget), buckets return to the pool, stragglers count as
+	// late. Newly admitted sessions Begin at now and are first stepped
+	// at now+1 — identical to a solo run beginning at that tick.
+	for p.retired < p.next && now >= p.starts[p.retired]+p.duration {
+		p.mux.Retire(p.names[p.retired])
+		p.retired++
+	}
+	outs := p.mux.Tick(now, inbox)
+	return p.admit(now, outs)
+}
+
+// Output canonically encodes every session's (decided, value) pair, so
+// sim-level agreement checks cover the whole engine run at once.
+func (p *procMachine) Output() (types.Value, bool) {
+	if !p.Done() {
+		return nil, false
+	}
+	w := wire.NewWriter()
+	w.PutInt(len(p.children))
+	for _, m := range p.children {
+		v, ok := m.Output()
+		if ok {
+			w.PutInt(1)
+			w.PutValue(v)
+		} else {
+			w.PutInt(0)
+			w.PutValue(nil)
+		}
+	}
+	return types.Value(w.Bytes()), true
+}
+
+func (p *procMachine) Done() bool {
+	return p.next == len(p.starts) && p.mux.Done()
+}

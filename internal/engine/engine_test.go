@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+// mixedRequests builds a workload that exercises every session kind,
+// ⊥-deciding slots (senders that get crashed), and wba fallback
+// (distinct inputs force disagreement handling).
+func mixedRequests(n, count int) []Request {
+	reqs := make([]Request, count)
+	for k := range reqs {
+		switch k % 4 {
+		case 0:
+			reqs[k] = Request{Kind: KindBB, Sender: types.ProcessID(k % n), Value: types.Value(fmt.Sprintf("cmd%d", k))}
+		case 1:
+			reqs[k] = Request{Kind: KindWBA, Value: types.Value(fmt.Sprintf("w%d", k))}
+		case 2:
+			inputs := make([]types.Value, n)
+			for i := range inputs {
+				inputs[i] = types.Value(fmt.Sprintf("v%d", i))
+			}
+			reqs[k] = Request{Kind: KindWBA, Inputs: inputs}
+		default:
+			reqs[k] = Request{Kind: KindStrongBA, Value: types.One}
+		}
+	}
+	return reqs
+}
+
+// TestEngineDeterminism is the pinning test behind the engine's whole
+// design: per-session decisions, word counts, and message counts are
+// byte-identical at every in-flight window size — W=16 fully pipelined
+// equals W=1 strictly serial one-at-a-time execution. CI runs it under
+// -race; the 16-session workload mixes BB, weak BA (incl. fallback),
+// and strong BA, with and without crashes.
+func TestEngineDeterminism(t *testing.T) {
+	const n, sessions = 5, 16
+	for _, f := range []struct {
+		f      int
+		leader bool
+	}{{0, false}, {1, false}, {2, true}} {
+		t.Run(fmt.Sprintf("f=%d,leader=%t", f.f, f.leader), func(t *testing.T) {
+			reqs := mixedRequests(n, sessions)
+			var serial string
+			for _, w := range []int{1, 4, 16} {
+				rep, err := Run(Config{
+					N: n, F: f.f, LeaderFault: f.leader, Inflight: w, Seed: 7,
+				}, reqs)
+				if err != nil {
+					t.Fatalf("W=%d: %v", w, err)
+				}
+				if rep.TimedOut {
+					t.Fatalf("W=%d: timed out at %d ticks", w, rep.Ticks)
+				}
+				if rep.Metrics.EngineLate != 0 {
+					t.Errorf("W=%d: %d late messages (budget too small?)", w, rep.Metrics.EngineLate)
+				}
+				fp := rep.Fingerprint()
+				if w == 1 {
+					serial = fp
+					for i := range rep.Sessions {
+						s := &rep.Sessions[i]
+						if !s.AllDecided || !s.Agreement {
+							t.Errorf("serial session %d: decided=%t agree=%t", i, s.AllDecided, s.Agreement)
+						}
+					}
+					continue
+				}
+				if fp != serial {
+					t.Errorf("W=%d diverges from serial:\n--- serial ---\n%s--- W=%d ---\n%s", w, serial, w, fp)
+				}
+				if rep.Ticks >= sessions*rep.SessionTicks {
+					t.Errorf("W=%d: no pipelining (%d ticks, serial needs ~%d)", w, rep.Ticks, sessions*rep.SessionTicks)
+				}
+			}
+		})
+	}
+}
+
+// TestEnginePipeliningSpeedup checks the stride schedule actually
+// compresses the run: W in-flight sessions take ~1/W the ticks.
+func TestEnginePipeliningSpeedup(t *testing.T) {
+	reqs := mixedRequests(5, 12)
+	serial, err := Run(Config{N: 5, Inflight: 1}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := Run(Config{N: 5, Inflight: 4}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(serial.Ticks) / float64(piped.Ticks); ratio < 2 {
+		t.Errorf("W=4 speedup %.2fx over serial (%d vs %d ticks), want >= 2x",
+			ratio, serial.Ticks, piped.Ticks)
+	}
+}
+
+// TestEngineBackpressure pins the drop-not-block admission policy:
+// requests beyond window+queue are shed and surfaced, never blocked on.
+func TestEngineBackpressure(t *testing.T) {
+	reqs := mixedRequests(5, 8)
+	rep, err := Run(Config{N: 5, Inflight: 2, MaxQueue: 2}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 4 || rep.Rejected != 4 || rep.Queued != 2 {
+		t.Fatalf("accepted/rejected/queued = %d/%d/%d, want 4/4/2",
+			rep.Accepted, rep.Rejected, rep.Queued)
+	}
+	if rep.Metrics.EngineRejects != 4 || rep.Metrics.EngineQueued != 2 {
+		t.Errorf("metrics rejects/queued = %d/%d, want 4/2",
+			rep.Metrics.EngineRejects, rep.Metrics.EngineQueued)
+	}
+	for i, s := range rep.Sessions {
+		if got, want := s.Rejected, i >= 4; got != want {
+			t.Errorf("session %d rejected=%t, want %t", i, got, want)
+		}
+		if got, want := s.Queued, i >= 2 && i < 4; got != want {
+			t.Errorf("session %d queued=%t, want %t", i, got, want)
+		}
+		if !s.Rejected && !s.AllDecided {
+			t.Errorf("accepted session %d did not decide", i)
+		}
+	}
+
+	// A negative MaxQueue sheds everything beyond the window itself.
+	rep, err = Run(Config{N: 5, Inflight: 2, MaxQueue: -1}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 2 || rep.Rejected != 6 || rep.Queued != 0 {
+		t.Fatalf("no-queue accepted/rejected/queued = %d/%d/%d, want 2/6/0",
+			rep.Accepted, rep.Rejected, rep.Queued)
+	}
+}
+
+// TestEngineHalt pins the cancellation hook: Halt aborts the run with
+// sim.ErrHalted before the halting tick's machines are stepped.
+func TestEngineHalt(t *testing.T) {
+	_, err := Run(Config{
+		N: 5, Inflight: 2,
+		Halt: func(now types.Tick) bool { return now >= 3 },
+	}, mixedRequests(5, 8))
+	if !errors.Is(err, sim.ErrHalted) {
+		t.Fatalf("err = %v, want sim.ErrHalted", err)
+	}
+}
+
+// TestEngineConfigErrors pins the validation surface.
+func TestEngineConfigErrors(t *testing.T) {
+	reqs := mixedRequests(5, 2)
+	cases := []struct {
+		name string
+		cfg  Config
+		reqs []Request
+		want error
+	}{
+		{"no sessions", Config{N: 5}, nil, ErrNoSessions},
+		{"bad n", Config{N: 2}, reqs, ErrConfig},
+		{"too many faults", Config{N: 5, F: 3}, reqs, ErrConfig},
+		{"bad kind", Config{N: 5}, []Request{{Kind: "nope"}}, ErrConfig},
+	}
+	for _, c := range cases {
+		if _, err := Run(c.cfg, c.reqs); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+// idleMachine never decides and never sends: the procMachine around it
+// reaches steady state immediately.
+type idleMachine struct{}
+
+func (idleMachine) Begin(types.Tick) []proto.Outgoing            { return nil }
+func (idleMachine) Tick(types.Tick, []proto.Incoming) []proto.Outgoing { return nil }
+func (idleMachine) Output() (types.Value, bool)                  { return nil, false }
+func (idleMachine) Done() bool                                   { return false }
+
+// TestEngineSteadyStateAllocs guards the per-session steady-state path:
+// once its sessions are admitted, a process's per-tick scheduling work —
+// retirement scan, demux, child stepping — allocates nothing. CI runs
+// this as the engine alloc-guard.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	p := &procMachine{
+		id:       0,
+		build:    func(int, types.ProcessID) proto.Machine { return idleMachine{} },
+		starts:   []types.Tick{0, 2, 4, 6},
+		names:    []string{"s0", "s1", "s2", "s3"},
+		duration: 1 << 30,
+		mux:      proto.NewMux(),
+		children: make([]proto.Machine, 4),
+	}
+	p.Begin(0)
+	var now types.Tick
+	for now = 1; now < 10; now++ {
+		p.Tick(now, nil) // admit everything, warm scratch
+	}
+	inbox := []proto.Incoming{
+		{From: 1, Session: "s0", Payload: nil},
+		{From: 2, Session: "s3", Payload: nil},
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		now++
+		p.Tick(now, inbox)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state engine tick allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestRunLogConvergence drives the pipelined log end to end: identical
+// entries, committed commands, and kv state hash at every window size,
+// fewer ticks when pipelined, and convergence under crashes.
+func TestRunLogConvergence(t *testing.T) {
+	const n, slots = 5, 10
+	queues := make([][]types.Value, n)
+	for i := range queues {
+		for j := 0; j < 2; j++ {
+			queues[i] = append(queues[i], types.Value(fmt.Sprintf("SET k%d-%d p%d", i, j, i)))
+		}
+	}
+	var serial *LogReport
+	for _, w := range []int{1, 5} {
+		rep, err := RunLog(Config{N: n, F: 1, Inflight: w}, queues, slots)
+		if err != nil {
+			t.Fatalf("W=%d: %v", w, err)
+		}
+		if !rep.Converged {
+			t.Fatalf("W=%d: log did not converge", w)
+		}
+		// Proposer p1 is crashed: its slots (1 and 6) commit ⊥.
+		if rep.Committed != slots-2 {
+			t.Errorf("W=%d: committed %d, want %d", w, rep.Committed, slots-2)
+		}
+		if len(rep.RejectedCommands) != 0 {
+			t.Errorf("W=%d: kv rejected %v", w, rep.RejectedCommands)
+		}
+		if w == 1 {
+			serial = rep
+			continue
+		}
+		if rep.StateHash != serial.StateHash {
+			t.Errorf("W=%d state hash %s != serial %s", w, rep.StateHash, serial.StateHash)
+		}
+		if got, want := rep.Engine.Fingerprint(), serial.Engine.Fingerprint(); got != want {
+			t.Errorf("W=%d log sessions diverge from serial:\n%s\nvs\n%s", w, got, want)
+		}
+		if rep.Engine.Ticks*2 >= serial.Engine.Ticks {
+			t.Errorf("W=%d: %d ticks vs serial %d, want >= 2x pipelining",
+				w, rep.Engine.Ticks, serial.Engine.Ticks)
+		}
+	}
+}

@@ -159,6 +159,9 @@ type Spec struct {
 	DisableSilentPhases bool
 	// Trace, if set, receives the message trace.
 	Trace io.Writer
+	// Halt, if set, is polled every tick; returning true aborts the run
+	// with sim.ErrHalted (the public API's context-cancellation hook).
+	Halt func(now types.Tick) bool
 	// OnSend, if set, observes every sent message (structured tracing).
 	OnSend func(now types.Tick, m sim.Message, honest bool)
 	// Monitor attaches the wire-level invariant oracle (internal/oracle)
@@ -492,6 +495,7 @@ func (r *runner) execute() (*Outcome, error) {
 		ShuffleSeed: r.spec.ShuffleSeed,
 		OnSend:      onSend,
 		Workers:     r.spec.TickWorkers,
+		Halt:        r.spec.Halt,
 	})
 	if err != nil {
 		return nil, err

@@ -86,6 +86,15 @@ type Recorder struct {
 	netFlushedFrames atomic.Int64
 	netFlushedBytes  atomic.Int64
 	netDrops         atomic.Int64
+
+	// Engine admission counters (internal/engine). Rejects are session
+	// requests shed by the drop-not-block admission policy (window and
+	// queue both full); queued are requests that waited behind the
+	// in-flight window before starting; late are messages that arrived
+	// for an already-retired session and were discarded by the demux.
+	engineRejects atomic.Int64
+	engineQueued  atomic.Int64
+	engineLate    atomic.Int64
 }
 
 // NewRecorder returns an empty recorder.
@@ -170,6 +179,18 @@ func (r *Recorder) RecordNetFlush(frames, bytes int) {
 // policy (the peer's outbox was full, or its connection already failed).
 func (r *Recorder) RecordNetDrop() { r.netDrops.Add(1) }
 
+// RecordEngineReject notes one session request shed by the engine's
+// admission policy (in-flight window and queue both full).
+func (r *Recorder) RecordEngineReject() { r.engineRejects.Add(1) }
+
+// RecordEngineQueued notes one session request that had to wait behind
+// the engine's in-flight window before starting.
+func (r *Recorder) RecordEngineQueued() { r.engineQueued.Add(1) }
+
+// RecordEngineLate notes messages discarded by the engine's session
+// demux because their session had already retired.
+func (r *Recorder) RecordEngineLate(n int64) { r.engineLate.Add(n) }
+
 // Report is an immutable snapshot of a recorder.
 type Report struct {
 	Honest    Stats            // sends by correct processes (the paper's measure)
@@ -189,6 +210,10 @@ type Report struct {
 	NetFlushedFrames int64
 	NetFlushedBytes  int64
 	NetDrops         int64
+	// Engine admission counters (0 outside multi-session engine runs).
+	EngineRejects int64
+	EngineQueued  int64
+	EngineLate    int64
 }
 
 // Snapshot copies the current counters.
@@ -210,6 +235,9 @@ func (r *Recorder) Snapshot() Report {
 		NetFlushedFrames: r.netFlushedFrames.Load(),
 		NetFlushedBytes:  r.netFlushedBytes.Load(),
 		NetDrops:         r.netDrops.Load(),
+		EngineRejects:    r.engineRejects.Load(),
+		EngineQueued:     r.engineQueued.Load(),
+		EngineLate:       r.engineLate.Load(),
 	}
 	for k, v := range r.byLayer {
 		rep.ByLayer[k] = *v

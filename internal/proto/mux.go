@@ -1,0 +1,148 @@
+package proto
+
+import "adaptiveba/internal/types"
+
+// Mux hosts many child machines, each under its own session name, and
+// demultiplexes a shared inbox to them in a single pass. It is the
+// session-keyed machine lifecycle used by parents that run whole fleets
+// of concurrent sub-protocols (the smr log's slots, the multi-session
+// engine's agreement instances): children are Added when their session
+// is admitted, stepped every tick while live, and Retired when the
+// parent no longer owes them service.
+//
+// Compared to calling Sub.Route once per child — O(children × inbox) —
+// Mux buckets the whole inbox by leading session segment in one O(inbox)
+// pass. The buckets are owned by the Mux and recycled every tick, and
+// retired children return their bucket to a free list for reuse by later
+// admissions, so the steady-state tick path allocates nothing.
+//
+// Message order is preserved exactly as serial per-child routing would
+// deliver it: within one session, messages keep their inbox order, and
+// children are stepped in insertion order.
+type Mux struct {
+	names map[string]int
+	subs  []*Sub
+	state []muxState
+
+	buckets [][]Incoming // per-child delivery bucket, reset each tick
+	free    [][]Incoming // buckets reclaimed from retired children
+	outs    []Outgoing   // reused join buffer returned by Tick
+
+	unrouted int64
+	late     int64
+}
+
+type muxState uint8
+
+const (
+	muxLive muxState = iota
+	muxRetired
+)
+
+// NewMux returns an empty multiplexer.
+func NewMux() *Mux {
+	return &Mux{names: make(map[string]int)}
+}
+
+// Len returns the number of children ever added (including retired).
+func (x *Mux) Len() int { return len(x.subs) }
+
+// Get returns the child registered under name (nil if unknown or
+// retired).
+func (x *Mux) Get(name string) *Sub {
+	i, ok := x.names[name]
+	if !ok || x.state[i] == muxRetired {
+		return nil
+	}
+	return x.subs[i]
+}
+
+// Add registers machine under the session segment name and returns its
+// Sub. The caller decides when to Begin it (Sub buffers earlier
+// deliveries). Adding a name twice, or adding after Retire under the
+// same name, panics: session names identify one lifecycle.
+func (x *Mux) Add(name string, m Machine) *Sub {
+	if _, dup := x.names[name]; dup {
+		panic("proto: duplicate mux session " + name)
+	}
+	sub := NewSub(name, m)
+	x.names[name] = len(x.subs)
+	x.subs = append(x.subs, sub)
+	x.state = append(x.state, muxLive)
+	var bucket []Incoming
+	if n := len(x.free); n > 0 {
+		bucket, x.free = x.free[n-1], x.free[:n-1]
+	}
+	x.buckets = append(x.buckets, bucket)
+	return sub
+}
+
+// Retire drops the child registered under name: it is no longer stepped,
+// later messages addressed to it are counted as late and discarded, its
+// machine reference is released, and its delivery bucket joins the free
+// list for the next Add. Retiring an unknown or already-retired name is
+// a no-op.
+func (x *Mux) Retire(name string) {
+	i, ok := x.names[name]
+	if !ok || x.state[i] == muxRetired {
+		return
+	}
+	x.state[i] = muxRetired
+	x.subs[i] = nil
+	x.free = append(x.free, x.buckets[i][:0])
+	x.buckets[i] = nil
+}
+
+// Unrouted returns the number of messages addressed to sessions never
+// registered (e.g. traffic for a not-yet-admitted instance).
+func (x *Mux) Unrouted() int64 { return x.unrouted }
+
+// Late returns the number of messages addressed to retired sessions.
+func (x *Mux) Late() int64 { return x.late }
+
+// Tick buckets inbox by leading session segment in one pass, then steps
+// every live child in insertion order with its bucket. The returned
+// slice is owned by the Mux and reused on the next call; callers must
+// copy (or forward immediately) rather than retain it — the same
+// contract Machine.Tick already imposes on runtimes.
+func (x *Mux) Tick(now types.Tick, inbox []Incoming) []Outgoing {
+	for _, in := range inbox {
+		head, rest := SplitSession(in.Session)
+		i, ok := x.names[head]
+		if !ok {
+			x.unrouted++
+			continue
+		}
+		if x.state[i] == muxRetired {
+			x.late++
+			continue
+		}
+		in.Session = rest
+		x.buckets[i] = append(x.buckets[i], in)
+	}
+	outs := x.outs[:0]
+	for i, sub := range x.subs {
+		if x.state[i] == muxRetired {
+			continue
+		}
+		outs = append(outs, sub.Tick(now, x.buckets[i])...)
+		x.buckets[i] = x.buckets[i][:0]
+	}
+	x.outs = outs
+	return outs
+}
+
+// Done reports whether every child ever added is either retired or done.
+// An empty Mux is done (vacuously); parents typically guard with their
+// own admission bookkeeping.
+func (x *Mux) Done() bool {
+	for i, sub := range x.subs {
+		if x.state[i] == muxRetired {
+			continue
+		}
+		if !sub.Done() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,165 @@
+package proto
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptiveba/internal/types"
+)
+
+// recMachine records (copies of) its inboxes and echoes them back.
+type recMachine struct {
+	seen    []Incoming
+	decided bool
+}
+
+func (r *recMachine) Begin(now types.Tick) []Outgoing { return nil }
+
+func (r *recMachine) Tick(now types.Tick, inbox []Incoming) []Outgoing {
+	var outs []Outgoing
+	for _, in := range inbox {
+		r.seen = append(r.seen, in) // element copies, not the slice
+		outs = append(outs, Outgoing{To: in.From, Session: in.Session, Payload: in.Payload})
+	}
+	return outs
+}
+
+func (r *recMachine) Output() (types.Value, bool) { return nil, r.decided }
+func (r *recMachine) Done() bool                  { return r.decided }
+
+func muxInbox(sessions ...string) []Incoming {
+	in := make([]Incoming, len(sessions))
+	for i, s := range sessions {
+		in[i] = Incoming{From: types.ProcessID(i), Session: s, Payload: fakePayload{name: "p", words: 1}}
+	}
+	return in
+}
+
+// TestMuxMatchesSerialRouting proves the single-pass bucketing delivers
+// exactly what per-child Sub.Route chains would: same per-child
+// messages, same order, same wrapped output order.
+func TestMuxMatchesSerialRouting(t *testing.T) {
+	build := func() ([]*Sub, []*recMachine) {
+		subs := make([]*Sub, 3)
+		machines := make([]*recMachine, 3)
+		for i := range subs {
+			machines[i] = &recMachine{}
+			subs[i] = NewSub(fmt.Sprintf("s%d", i), machines[i])
+			subs[i].Begin(0)
+		}
+		return subs, machines
+	}
+
+	inbox := muxInbox("s0", "s1/inner", "s2", "s0/deep/er", "nope", "s1", "s2")
+
+	// Serial reference: Route chains in child order.
+	refSubs, refMachines := build()
+	var refOuts []Outgoing
+	rest := inbox
+	for _, sub := range refSubs {
+		var mine []Incoming
+		mine, rest = sub.Route(rest)
+		refOuts = append(refOuts, sub.Tick(1, mine)...)
+	}
+
+	// Mux under test.
+	x := NewMux()
+	machines := make([]*recMachine, 3)
+	for i := range machines {
+		machines[i] = &recMachine{}
+		x.Add(fmt.Sprintf("s%d", i), machines[i]).Begin(0)
+	}
+	outs := x.Tick(1, inbox)
+
+	if len(outs) != len(refOuts) {
+		t.Fatalf("outs: %d vs serial %d", len(outs), len(refOuts))
+	}
+	for i := range outs {
+		if outs[i].To != refOuts[i].To || outs[i].Session != refOuts[i].Session {
+			t.Errorf("out %d: %+v vs %+v", i, outs[i], refOuts[i])
+		}
+	}
+	for i := range machines {
+		if len(machines[i].seen) != len(refMachines[i].seen) {
+			t.Fatalf("child %d saw %d msgs, serial saw %d", i, len(machines[i].seen), len(refMachines[i].seen))
+		}
+		for j := range machines[i].seen {
+			if machines[i].seen[j].Session != refMachines[i].seen[j].Session ||
+				machines[i].seen[j].From != refMachines[i].seen[j].From {
+				t.Errorf("child %d msg %d: %+v vs %+v", i, j, machines[i].seen[j], refMachines[i].seen[j])
+			}
+		}
+	}
+	if x.Unrouted() != 1 {
+		t.Errorf("unrouted = %d, want 1 (the \"nope\" session)", x.Unrouted())
+	}
+}
+
+func TestMuxRetire(t *testing.T) {
+	x := NewMux()
+	m := &recMachine{}
+	x.Add("a", m).Begin(0)
+	x.Add("b", &recMachine{}).Begin(0)
+
+	x.Tick(1, muxInbox("a", "b"))
+	if len(m.seen) != 1 {
+		t.Fatalf("pre-retire: child a saw %d", len(m.seen))
+	}
+
+	x.Retire("a")
+	x.Retire("a") // idempotent
+	if x.Get("a") != nil {
+		t.Error("retired child still visible")
+	}
+	x.Tick(2, muxInbox("a", "b"))
+	if len(m.seen) != 1 {
+		t.Errorf("retired child was stepped with traffic: %d", len(m.seen))
+	}
+	if x.Late() != 1 {
+		t.Errorf("late = %d, want 1", x.Late())
+	}
+
+	// The retired child's bucket is recycled by the next Add.
+	before := len(x.free)
+	x.Add("c", &recMachine{}).Begin(0)
+	if len(x.free) != before-1 {
+		t.Errorf("free list not consumed: %d -> %d", before, len(x.free))
+	}
+}
+
+func TestMuxDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add did not panic")
+		}
+	}()
+	x := NewMux()
+	x.Add("a", &recMachine{})
+	x.Add("a", &recMachine{})
+}
+
+// TestMuxSteadyStateAllocs pins the allocation-free tick path: with all
+// children live and buckets warmed up, routing plus stepping allocates
+// nothing in the Mux itself.
+func TestMuxSteadyStateAllocs(t *testing.T) {
+	x := NewMux()
+	for i := 0; i < 4; i++ {
+		x.Add(fmt.Sprintf("s%d", i), &quietMachine{}).Begin(0)
+	}
+	inbox := muxInbox("s0", "s1", "s2", "s3", "s0", "s2")
+	x.Tick(1, inbox) // warm buckets
+	allocs := testing.AllocsPerRun(100, func() {
+		x.Tick(2, inbox)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Mux.Tick allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// quietMachine consumes everything and sends nothing.
+type quietMachine struct{}
+
+func (quietMachine) Begin(types.Tick) []Outgoing                 { return nil }
+func (quietMachine) Tick(types.Tick, []Incoming) []Outgoing      { return nil }
+func (quietMachine) Output() (types.Value, bool)                 { return nil, false }
+func (quietMachine) Done() bool                                  { return false }

@@ -119,6 +119,12 @@ type Config struct {
 	// observable schedule (traffic order, adversary view, metrics,
 	// traces); the knob trades cores for wall clock only.
 	Workers int
+	// Halt, if set, is polled at the start of every tick; returning true
+	// aborts the run with ErrHalted before any machine is stepped at that
+	// tick. This is the cancellation hook: the run stays fully
+	// synchronous (no goroutines outlive Run), so a caller-side
+	// context.Done check here makes cancellation prompt and leak-free.
+	Halt func(now types.Tick) bool
 }
 
 // DefaultMaxTicks bounds runs whose configuration forgot a limit.
@@ -180,6 +186,7 @@ var (
 	ErrConfig     = errors.New("sim: invalid configuration")
 	ErrForgery    = errors.New("sim: adversary sent from a non-corrupted identity")
 	ErrCorruption = errors.New("sim: invalid corruption schedule")
+	ErrHalted     = errors.New("sim: run halted")
 )
 
 // Run executes the configured run to quiescence or MaxTicks.
@@ -285,6 +292,9 @@ func (e *engine) run(maxTicks types.Tick) (*Result, error) {
 	timedOut := true
 
 	for now = 0; now <= maxTicks; now++ {
+		if e.cfg.Halt != nil && e.cfg.Halt(now) {
+			return nil, fmt.Errorf("%w at tick %d", ErrHalted, now)
+		}
 		e.applyCorruptions(now)
 
 		// Deliver: bucket the in-flight traffic into the reused inboxes.

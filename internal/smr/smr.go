@@ -67,6 +67,11 @@ type Machine struct {
 	start     types.Tick
 	queuePos  int
 
+	// mux demultiplexes the inbox to the live slots in one pass; subs
+	// keeps slot-indexed references for the in-order commit loop. Slots
+	// are never retired: a decided BB instance may still owe replies to
+	// lagging peers, and dropping its traffic would change the schedule.
+	mux     *proto.Mux
 	subs    []*proto.Sub
 	entries []Entry
 	done    bool
@@ -99,6 +104,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		cfg:       cfg,
 		slotTicks: slotTicks,
 		stride:    stride,
+		mux:       proto.NewMux(),
 		subs:      make([]*proto.Sub, cfg.Slots),
 	}, nil
 }
@@ -162,7 +168,7 @@ func (m *Machine) startSlot(slot int, now types.Tick) []proto.Outgoing {
 		Input:  input,
 		Tag:    fmt.Sprintf("%s/%s", m.cfg.Tag, sessionName(slot)),
 	})
-	m.subs[slot] = proto.NewSub(sessionName(slot), inst)
+	m.subs[slot] = m.mux.Add(sessionName(slot), inst)
 	return m.subs[slot].Begin(now)
 }
 
@@ -179,14 +185,13 @@ func (m *Machine) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing 
 		}
 	}
 
-	rest := inbox
-	for _, sub := range m.subs {
-		if sub == nil {
-			continue
-		}
-		var mine []proto.Incoming
-		mine, rest = sub.Route(rest)
-		outs = append(outs, sub.Tick(now, mine)...)
+	// One routing pass over the shared inbox, then every live slot steps
+	// in slot order — exactly the delivery order the old per-Sub Route
+	// chain produced, at O(inbox) instead of O(slots × inbox).
+	if mouts := m.mux.Tick(now, inbox); len(outs) == 0 {
+		outs = mouts
+	} else {
+		outs = append(outs, mouts...)
 	}
 
 	// Commit decided slots in order.

@@ -110,6 +110,14 @@ type Config struct {
 	// it closes every connection and returns ErrCrashed — fault injection
 	// for real-network runs.
 	CrashAfter types.Tick
+	// SessionHook, if set, is consulted for every authenticated inbound
+	// message frame after the session path is parsed but before the
+	// payload is decoded: return false to drop the frame (counted as a
+	// net drop). Session-demuxing hosts use it to shed traffic for
+	// sessions they have not admitted or have already retired, so a
+	// node does not pay payload decoding and signature checks for words
+	// it will never read.
+	SessionHook func(from types.ProcessID, session string) bool
 	// Recorder, if set, accounts for sent messages.
 	Recorder *metrics.Recorder
 	// Logf, if set, receives debug lines.
@@ -374,6 +382,12 @@ func (n *Node) readLoop(ctx context.Context, conn net.Conn) {
 			payloadFrame := r.Bytes()
 			if r.Close() != nil {
 				return
+			}
+			if n.cfg.SessionHook != nil && !n.cfg.SessionHook(from, session) {
+				if n.cfg.Recorder != nil {
+					n.cfg.Recorder.RecordNetDrop()
+				}
+				continue
 			}
 			payload, err := n.cfg.Registry.DecodePayload(payloadFrame)
 			if err != nil {

@@ -496,3 +496,104 @@ func TestReplicatedLogOverTCP(t *testing.T) {
 		}
 	}
 }
+
+// spamMachine wraps a protocol machine and additionally broadcasts one
+// bogus frame per tick on the "spam" session — traffic a session-aware
+// receiver should shed before paying payload decoding.
+type spamMachine struct {
+	proto.Machine
+	params types.Params
+}
+
+func (s *spamMachine) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing {
+	outs := s.Machine.Tick(now, inbox)
+	return append(outs, proto.Broadcast(s.params, "spam", bb.HelpReq{Phase: 1})...)
+}
+
+func TestSessionHookFiltersFrames(t *testing.T) {
+	crypto, params := setup(t, 3)
+	addrs := freeAddrs(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var hookDrops, hookPassed int64 // node 0's hook counters (tick goroutine only after Run)
+	var hookMu sync.Mutex
+	rec := metrics.NewRecorder()
+
+	var (
+		mu        sync.Mutex
+		decisions = make(map[types.ProcessID]types.Value)
+		wg        sync.WaitGroup
+		firstErr  error
+	)
+	for i := 0; i < params.N; i++ {
+		id := types.ProcessID(i)
+		cfg := Config{
+			Params:       params,
+			Crypto:       crypto,
+			ID:           id,
+			Addrs:        addrs,
+			Registry:     NewFullRegistry(),
+			TickInterval: 10 * time.Millisecond,
+		}
+		if id == 0 {
+			cfg.Recorder = rec
+			cfg.SessionHook = func(from types.ProcessID, session string) bool {
+				head, _ := proto.SplitSession(session)
+				hookMu.Lock()
+				defer hookMu.Unlock()
+				if head == "spam" {
+					hookDrops++
+					return false
+				}
+				hookPassed++
+				return true
+			}
+		}
+		m := &spamMachine{
+			Machine: bb.NewMachine(bb.Config{
+				Params: params, Crypto: crypto, ID: id,
+				Sender: 0, Input: types.Value("hooked"), Tag: "hook",
+			}),
+			params: params,
+		}
+		node, err := NewNode(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := node.Run(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("node %v: %w", id, err)
+				return
+			}
+			decisions[id] = v
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+
+	for id, v := range decisions {
+		if !v.Equal(types.Value("hooked")) {
+			t.Errorf("node %v decided %v despite the hook", id, v)
+		}
+	}
+	hookMu.Lock()
+	drops, passed := hookDrops, hookPassed
+	hookMu.Unlock()
+	if drops == 0 {
+		t.Error("session hook never dropped a spam frame")
+	}
+	if passed == 0 {
+		t.Error("session hook never passed a protocol frame")
+	}
+	if got := rec.Snapshot().NetDrops; got != drops {
+		t.Errorf("NetDrops = %d, hook dropped %d", got, drops)
+	}
+}

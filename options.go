@@ -1,0 +1,325 @@
+// Public API, option/context surface: functional options, typed
+// sentinel errors, context-aware entry points, and the multi-session
+// RunMany fan-out over the engine. This is the documented default
+// surface; the Options-struct entry points in adaptiveba.go remain as
+// deprecated wrappers.
+package adaptiveba
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"adaptiveba/internal/engine"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+// Option configures a run. Options compose left to right:
+//
+//	BroadcastContext(ctx, 9, value, adaptiveba.WithFaults(2), adaptiveba.WithSeed(7))
+type Option func(*Options)
+
+// WithFaults corrupts f processes (0 ≤ f ≤ t).
+func WithFaults(f int) Option { return func(o *Options) { o.Faults = f } }
+
+// WithPattern selects how the corrupted processes misbehave (default
+// FaultCrash).
+func WithPattern(p FaultPattern) Option { return func(o *Options) { o.Pattern = p } }
+
+// WithSeed drives randomized fault patterns.
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithRealSignatures switches from fast HMAC authenticators to Ed25519.
+func WithRealSignatures() Option { return func(o *Options) { o.RealSignatures = true } }
+
+// WithTrace streams a per-message trace of the run to w.
+func WithTrace(w io.Writer) Option { return func(o *Options) { o.Trace = w } }
+
+// WithThreshold overrides the corruption threshold t (default
+// floor((n-1)/2), the paper's optimal n = 2t+1). A threshold the
+// process count cannot support — n < 2t+1 leaves no honest quorum —
+// fails with ErrNoQuorum.
+func WithThreshold(t int) Option { return func(o *Options) { o.Threshold = t } }
+
+// WithInflight bounds how many sessions a multi-session run (RunMany,
+// the pipelined replicated log) keeps in flight concurrently: 1 runs
+// them strictly serially, 0 (the default) pipelines as deeply as the
+// workload allows. Per-session decisions and word counts are identical
+// at every window size; only wall time and tick count change.
+func WithInflight(w int) Option { return func(o *Options) { o.Inflight = w } }
+
+// sentinel is a typed API error chained onto the broad legacy class, so
+// errors.Is matches both the precise identity (ErrBadN) and the legacy
+// one (ErrOptions) that existing callers test for.
+type sentinel struct {
+	msg  string
+	base error
+}
+
+func (e *sentinel) Error() string { return e.msg }
+func (e *sentinel) Unwrap() error { return e.base }
+
+// Typed sentinel errors returned by validation and cancellation paths.
+// Each chains to the legacy class it refines: errors.Is(err, ErrBadN)
+// implies errors.Is(err, ErrOptions).
+var (
+	// ErrBadN reports an unusable process count (n < 3).
+	ErrBadN error = &sentinel{"adaptiveba: invalid process count", ErrOptions}
+	// ErrTooManyFaults reports f outside 0..t.
+	ErrTooManyFaults error = &sentinel{"adaptiveba: fault count exceeds threshold", ErrOptions}
+	// ErrNoQuorum reports a threshold override the process count cannot
+	// support (n < 2t+1 leaves no honest quorum).
+	ErrNoQuorum error = &sentinel{"adaptiveba: no honest quorum possible", ErrOptions}
+	// ErrCanceled reports a run aborted by its context; it wraps the
+	// context's own error, so errors.Is(err, context.Canceled) works too.
+	ErrCanceled = errors.New("adaptiveba: run canceled")
+)
+
+// buildOptions folds functional options into the legacy struct.
+func buildOptions(n int, opts []Option) Options {
+	o := Options{N: n}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// haltFrom adapts a context into the simulator's per-tick halt poll.
+// The run is fully synchronous — no goroutines outlive it — so polling
+// at tick granularity makes cancellation prompt and leak-free.
+func haltFrom(ctx context.Context) func(types.Tick) bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func(types.Tick) bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// mapCanceled rewrites the simulator's halt error into ErrCanceled,
+// chaining the context's cause.
+func mapCanceled(ctx context.Context, err error) error {
+	if err != nil && errors.Is(err, sim.ErrHalted) {
+		return fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+	}
+	return err
+}
+
+// BroadcastContext runs the adaptive Byzantine Broadcast (paper
+// Algorithms 1–2) with process 0 as the designated sender broadcasting
+// value. The context cancels the run promptly (at tick granularity)
+// with ErrCanceled. See Broadcast for the protocol's guarantees.
+func BroadcastContext(ctx context.Context, n int, value []byte, opts ...Option) (*Result, error) {
+	res, err := broadcastRun(buildOptions(n, opts), haltFrom(ctx), value)
+	return res, mapCanceled(ctx, err)
+}
+
+// WeakAgreeContext runs the adaptive weak Byzantine Agreement
+// (Algorithms 3–4): inputs[i] is process i's proposal, predicate the
+// validity predicate (nil accepts any non-empty value). The context
+// cancels the run promptly with ErrCanceled. See WeakAgree.
+func WeakAgreeContext(ctx context.Context, n int, inputs [][]byte, predicate func([]byte) bool, opts ...Option) (*Result, error) {
+	res, err := weakAgreeRun(buildOptions(n, opts), haltFrom(ctx), inputs, predicate)
+	return res, mapCanceled(ctx, err)
+}
+
+// StrongAgreeBinaryContext runs the binary strong BA (Algorithm 5):
+// inputs[i] is process i's bit. The context cancels the run promptly
+// with ErrCanceled. See StrongAgreeBinary.
+func StrongAgreeBinaryContext(ctx context.Context, n int, inputs []bool, opts ...Option) (*Result, error) {
+	res, err := strongAgreeBinaryRun(buildOptions(n, opts), haltFrom(ctx), inputs)
+	return res, mapCanceled(ctx, err)
+}
+
+// StrongAgreeContext runs multivalued strong Byzantine Agreement (the
+// non-adaptive A_fallback row of the problem family). The context
+// cancels the run promptly with ErrCanceled. See StrongAgree.
+func StrongAgreeContext(ctx context.Context, n int, inputs [][]byte, opts ...Option) (*Result, error) {
+	res, err := strongAgreeRun(buildOptions(n, opts), haltFrom(ctx), inputs)
+	return res, mapCanceled(ctx, err)
+}
+
+// ReplicateLogContext runs the totally-ordered replicated log with
+// rotating proposers (see ReplicateLog). WithInflight(w) pipelines the
+// log: slot s+1's broadcast starts while slot s may still be running
+// its fallback, multiplying commit throughput by up to w without
+// changing any committed entry. The context cancels the run promptly
+// with ErrCanceled.
+func ReplicateLogContext(ctx context.Context, n int, queues [][][]byte, slots int, opts ...Option) (*LogResult, error) {
+	res, err := replicateLogRun(buildOptions(n, opts), haltFrom(ctx), queues, slots)
+	return res, mapCanceled(ctx, err)
+}
+
+// Request describes one agreement instance for RunMany. Build requests
+// with BroadcastRequest, WeakAgreeRequest, or StrongAgreeBinaryRequest.
+type Request struct {
+	// N is the process count; every request in one RunMany batch must
+	// agree on it (0 inherits the batch's value).
+	N int
+	// Opts contribute run-level options, merged in request order across
+	// the batch (the batch shares one simulated deployment, so faults,
+	// signatures, and the in-flight window are per-batch, not
+	// per-request).
+	Opts []Option
+
+	kind      engine.Kind
+	sender    int
+	value     []byte
+	inputs    [][]byte
+	bits      []bool
+	predicate func([]byte) bool
+}
+
+// BroadcastRequest asks for one adaptive BB instance with the given
+// designated sender broadcasting value.
+func BroadcastRequest(n, sender int, value []byte, opts ...Option) Request {
+	return Request{N: n, Opts: opts, kind: engine.KindBB, sender: sender,
+		value: append([]byte(nil), value...)}
+}
+
+// WeakAgreeRequest asks for one adaptive weak BA instance (inputs[i] is
+// process i's proposal; nil predicate accepts any non-empty value).
+func WeakAgreeRequest(n int, inputs [][]byte, predicate func([]byte) bool, opts ...Option) Request {
+	cp := make([][]byte, len(inputs))
+	for i, in := range inputs {
+		cp[i] = append([]byte(nil), in...)
+	}
+	return Request{N: n, Opts: opts, kind: engine.KindWBA, inputs: cp, predicate: predicate}
+}
+
+// StrongAgreeBinaryRequest asks for one binary strong BA instance
+// (inputs[i] is process i's bit).
+func StrongAgreeBinaryRequest(n int, inputs []bool, opts ...Option) Request {
+	return Request{N: n, Opts: opts, kind: engine.KindStrongBA,
+		bits: append([]bool(nil), inputs...)}
+}
+
+// RunMany executes many agreement instances concurrently over one
+// shared simulated deployment, fanning out over the multi-session
+// engine: instances run in their own sessions, pipelined up to the
+// WithInflight window (default: as deep as the workload allows), with
+// identical per-session decisions and word counts at every window size.
+// Results are returned in request order. Result.Ticks is the session's
+// decision latency in δ units (not the whole run's length).
+//
+// Only crash fault patterns are supported here (FaultCrash,
+// FaultCrashLeader): the batch shares one deployment, so the corrupted
+// set persists across all instances, as it would in production.
+func RunMany(ctx context.Context, reqs ...Request) ([]*Result, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("%w: no requests", ErrInputs)
+	}
+	n := 0
+	for i := range reqs {
+		if reqs[i].N == 0 {
+			continue
+		}
+		if n == 0 {
+			n = reqs[i].N
+		} else if reqs[i].N != n {
+			return nil, fmt.Errorf("%w: request %d wants n=%d, batch has n=%d", ErrBadN, i, reqs[i].N, n)
+		}
+	}
+	merged := Options{N: n}
+	for i := range reqs {
+		for _, opt := range reqs[i].Opts {
+			opt(&merged)
+		}
+	}
+	// Reuse the legacy validation so every sentinel behaves identically
+	// across entry points.
+	if _, err := baseSpec(merged); err != nil {
+		return nil, err
+	}
+	var leader bool
+	switch merged.Pattern {
+	case "", FaultCrash:
+	case FaultCrashLeader:
+		leader = true
+	default:
+		return nil, fmt.Errorf("%w: pattern %q is not supported by multi-session runs (crash patterns only)",
+			ErrOptions, merged.Pattern)
+	}
+
+	ereqs := make([]engine.Request, len(reqs))
+	for i := range reqs {
+		r := &reqs[i]
+		switch r.kind {
+		case engine.KindBB:
+			if r.sender < 0 || r.sender >= n {
+				return nil, fmt.Errorf("%w: request %d sender %d out of range", ErrInputs, i, r.sender)
+			}
+			ereqs[i] = engine.Request{Kind: engine.KindBB,
+				Sender: types.ProcessID(r.sender), Value: types.Value(r.value)}
+		case engine.KindWBA:
+			if len(r.inputs) != n {
+				return nil, fmt.Errorf("%w: request %d needs %d inputs, got %d", ErrInputs, i, n, len(r.inputs))
+			}
+			inputs := make([]types.Value, n)
+			for p, in := range r.inputs {
+				if len(in) == 0 {
+					return nil, fmt.Errorf("%w: request %d process %d has an empty input", ErrInputs, i, p)
+				}
+				inputs[p] = types.Value(in)
+			}
+			var pred func(types.Value) bool
+			if user := r.predicate; user != nil {
+				pred = func(v types.Value) bool { return user([]byte(v)) }
+			}
+			ereqs[i] = engine.Request{Kind: engine.KindWBA, Inputs: inputs, Predicate: pred}
+		case engine.KindStrongBA:
+			if len(r.bits) != n {
+				return nil, fmt.Errorf("%w: request %d needs %d inputs, got %d", ErrInputs, i, n, len(r.bits))
+			}
+			inputs := make([]types.Value, n)
+			for p, b := range r.bits {
+				inputs[p] = types.BinaryValue(b)
+			}
+			ereqs[i] = engine.Request{Kind: engine.KindStrongBA, Inputs: inputs}
+		default:
+			return nil, fmt.Errorf("%w: request %d was not built by a Request constructor", ErrInputs, i)
+		}
+	}
+
+	rep, err := engine.Run(engine.Config{
+		N: n, T: merged.Threshold, F: merged.Faults, LeaderFault: leader,
+		Inflight: merged.Inflight, Seed: merged.Seed,
+		Ed25519: merged.RealSignatures, Trace: merged.Trace,
+		Halt: haltFrom(ctx),
+	}, ereqs)
+	if err != nil {
+		return nil, mapCanceled(ctx, err)
+	}
+
+	out := make([]*Result, len(rep.Sessions))
+	for i := range rep.Sessions {
+		s := &rep.Sessions[i]
+		res := &Result{
+			Bottom:            s.Decision.IsBottom(),
+			Agreement:         s.Agreement,
+			AllDecided:        s.AllDecided,
+			Words:             s.Words,
+			Messages:          s.Messages,
+			FallbackProcesses: s.FallbackProcs,
+			LayerWords:        make(map[string]int64, len(s.ByLayer)),
+		}
+		if s.DecisionTick > s.Start {
+			res.Ticks = int64(s.DecisionTick - s.Start)
+		}
+		if !s.Decision.IsBottom() {
+			res.Decision = append([]byte(nil), s.Decision...)
+		}
+		for layer, st := range s.ByLayer {
+			res.LayerWords[layer] = st.Words
+		}
+		out[i] = res
+	}
+	return out, nil
+}

@@ -44,7 +44,15 @@ type LogResult struct {
 // where replica i proposes the commands of queues[i] in its own slots.
 // It demonstrates the paper's payoff at the system level — a failure-free
 // deployment commits each command for O(n) words instead of Θ(n²).
+//
+// Prefer ReplicateLogContext, which adds cancellation, functional
+// options, and pipelined slots (WithInflight); this struct form is kept
+// for existing callers.
 func ReplicateLog(opts Options, queues [][][]byte, slots int) (*LogResult, error) {
+	return replicateLogRun(opts, nil, queues, slots)
+}
+
+func replicateLogRun(opts Options, halt func(types.Tick) bool, queues [][][]byte, slots int) (*LogResult, error) {
 	spec, err := baseSpec(opts)
 	if err != nil {
 		return nil, err
@@ -56,7 +64,12 @@ func ReplicateLog(opts Options, queues [][][]byte, slots int) (*LogResult, error
 		return nil, fmt.Errorf("%w: need at least one slot", ErrInputs)
 	}
 
-	params, err := types.NewParams(opts.N)
+	var params types.Params
+	if spec.T > 0 {
+		params, err = types.Custom(opts.N, spec.T)
+	} else {
+		params, err = types.NewParams(opts.N)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrOptions, err)
 	}
@@ -71,6 +84,24 @@ func ReplicateLog(opts Options, queues [][][]byte, slots int) (*LogResult, error
 	}
 	crypto := proto.NewCrypto(params, scheme, threshold.ModeCompact, []byte("log-dealer"))
 
+	// WithInflight(w) pipelines the slots: consecutive broadcasts start
+	// every ceil(SlotTicks/w) ticks instead of back to back, keeping up
+	// to w instances live. Unset (0) preserves the strictly sequential
+	// schedule byte for byte.
+	var stride types.Tick
+	if opts.Inflight > 0 {
+		probe, err := smr.NewMachine(smr.Config{
+			Params: params, Crypto: crypto, ID: 0, Tag: "log", Slots: slots,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("adaptiveba: %w", err)
+		}
+		w := types.Tick(opts.Inflight)
+		if stride = (probe.SlotTicks() + w - 1) / w; stride < 1 {
+			stride = 1
+		}
+	}
+
 	var budget types.Tick
 	rec := metrics.NewRecorder()
 	res, err := sim.Run(sim.Config{
@@ -83,7 +114,7 @@ func ReplicateLog(opts Options, queues [][][]byte, slots int) (*LogResult, error
 			}
 			m, err := smr.NewMachine(smr.Config{
 				Params: params, Crypto: crypto, ID: id,
-				Tag: "log", Slots: slots, Queue: queue,
+				Tag: "log", Slots: slots, Queue: queue, Stride: stride,
 			})
 			if err != nil {
 				panic("adaptiveba: smr config validated above: " + err.Error())
@@ -94,6 +125,7 @@ func ReplicateLog(opts Options, queues [][][]byte, slots int) (*LogResult, error
 		Adversary: logAdversary(spec),
 		MaxTicks:  budget * 2,
 		Recorder:  rec,
+		Halt:      halt,
 	})
 	if err != nil {
 		return nil, err
