@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-json bench-sim-json bench-net-json bench-engine-json experiments examples fuzz cover clean
+.PHONY: all build test test-short test-race vet bench bench-json bench-sim-json bench-net-json bench-engine-json bench-explore-json explore chaos-smoke experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -58,6 +58,24 @@ bench-net-json:
 bench-engine-json:
 	$(GO) run ./cmd/adaptiveba-bench -bench-engine-json BENCH_engine.json
 
+# Regenerate the adversarial schedule-search baseline
+# (BENCH_explore.json): genetic search for the worst adversary schedule
+# at every (n, f) grid point, checked against the O(n(f+1)) word
+# envelope. Fails if any schedule beats the envelope or breaks a safety
+# invariant. Fully seeded: re-running reproduces the committed bytes.
+bench-explore-json:
+	$(GO) run ./cmd/adaptiveba-bench -bench-explore-json BENCH_explore.json
+
+# Interactive single-grid-point search with a full report.
+explore:
+	$(GO) run ./cmd/adaptiveba-sim -explore -protocol wba -n 9 -f 4 -generations 4 -population 8
+
+# A TCP cluster under seeded fault injection (drops + jitter + a
+# flapping peer); nodes must still decide the common value.
+chaos-smoke:
+	$(GO) run ./cmd/adaptiveba-cluster -protocol wba -n 5 -tick 40ms \
+		-chaos-seed 42 -chaos-drop 0.05 -chaos-delay 0.2 -chaos-flap-every 7
+
 # Regenerate every table/figure of the paper (EXPERIMENTS.md data).
 experiments:
 	$(GO) run ./cmd/adaptiveba-bench -all
@@ -77,6 +95,7 @@ fuzz:
 	$(GO) test ./internal/crypto/verifycache -fuzz FuzzCachedVerifyMatchesDirect -fuzztime 30s
 	$(GO) test ./internal/transport -fuzz FuzzReadFrame$$ -fuzztime 30s
 	$(GO) test ./internal/transport -fuzz FuzzReadFrameRoundTrip -fuzztime 30s
+	$(GO) test ./internal/explore -fuzz FuzzScheduleGenome -fuzztime 30s
 
 cover:
 	$(GO) test ./... -coverprofile=cover.out

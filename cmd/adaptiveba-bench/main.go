@@ -50,6 +50,10 @@ func run(args []string, out io.Writer) error {
 		benchEng = fs.String("bench-engine-json", "", "A/B the multi-session engine's pipelined replicated log against serial slot-at-a-time execution, write a machine-readable report to this path")
 		sessions = fs.Int("sessions", 64, "engine A/B: total log slots per run")
 		inflight = fs.String("inflight", "1,4,16,64", "engine A/B: admission windows to measure (comma-separated; serial baseline first)")
+		benchExp = fs.String("bench-explore-json", "", "run the adversarial schedule search over the full (n, 0..t) grid, write worst-words-vs-envelope to this path")
+		expSeed  = fs.Int64("seed", 1, "explore sweep: search seed (whole report is a pure function of it)")
+		expGens  = fs.Int("generations", 3, "explore sweep: generations per grid point")
+		expPop   = fs.Int("population", 6, "explore sweep: population per generation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +101,24 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-inflight: %w", err)
 		}
 		return runBenchEngineJSON(out, *benchEng, ns, *sessions, windows)
+	}
+	if *benchExp != "" {
+		// The explore sweep has its own default protocol and mesh sizes;
+		// -protocol and -ns override.
+		proto, nsStr := "wba", "9,17,33"
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "ns":
+				nsStr = *nsFlag
+			case "protocol":
+				proto = *protocol
+			}
+		})
+		ns, err := parseInts(nsStr)
+		if err != nil {
+			return fmt.Errorf("-ns: %w", err)
+		}
+		return runBenchExploreJSON(out, *benchExp, proto, ns, *expSeed, *expGens, *expPop, *workers)
 	}
 	if *benchNet != "" {
 		// The network A/B has its own default mesh sizes; -ns overrides.

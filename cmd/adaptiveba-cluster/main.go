@@ -49,6 +49,13 @@ func run(args []string, out io.Writer) error {
 		timeout    = fs.Duration("timeout", 60*time.Second, "overall deadline")
 		flushEvery = fs.Int("flush-every", 0, "per-peer outbox bound in bytes before backpressure drops (0 = default 4MiB)")
 		legacySend = fs.Bool("legacy-send", false, "use the synchronous per-message send path instead of batched outboxes")
+
+		chaosSeed      = fs.Int64("chaos-seed", 1, "seed for the chaos fault schedule (per-node streams are derived from it)")
+		chaosDrop      = fs.Float64("chaos-drop", 0, "per-frame chaos loss probability (0..1); enables chaos injection")
+		chaosDelay     = fs.Float64("chaos-delay", 0, "per-frame chaos jitter probability (0..1); enables chaos injection")
+		chaosMaxDelay  = fs.Duration("chaos-max-delay", 0, "chaos jitter bound (0 = tick/4); past the tick interval it violates the δ-bound")
+		chaosPartition = fs.Int("chaos-partition-every", 0, "open a 1-tick parity-cut partition every N ticks (0 = off)")
+		chaosFlap      = fs.Int("chaos-flap-every", 0, "flap one seeded-chosen peer for 1 tick every N ticks (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,12 +94,26 @@ func run(args []string, out io.Writer) error {
 		lines []lineOut
 		fail  error
 	)
+	chaos := transport.ChaosConfig{
+		Seed:           *chaosSeed,
+		DropRate:       *chaosDrop,
+		DelayRate:      *chaosDelay,
+		MaxDelay:       *chaosMaxDelay,
+		PartitionEvery: types.Tick(*chaosPartition),
+		FlapEvery:      types.Tick(*chaosFlap),
+	}
+
 	alive := *n - *crash
 	for i := 0; i < alive; i++ {
 		id := types.ProcessID(i)
 		machine, err := buildMachine(*protocol, params, crypto, id, types.Value(*value))
 		if err != nil {
 			return err
+		}
+		nodeChaos := chaos
+		if nodeChaos.Enabled() {
+			// Distinct per-node verdict streams from the one cluster seed.
+			nodeChaos.Seed = chaos.Seed + int64(i)*0x9e3779b9
 		}
 		rec := metrics.NewRecorder()
 		node, err := transport.NewNode(transport.Config{
@@ -106,6 +127,7 @@ func run(args []string, out io.Writer) error {
 			Recorder:     rec,
 			FlushBytes:   *flushEvery,
 			LegacySend:   *legacySend,
+			Chaos:        nodeChaos,
 			// The crashed peers never answer the barrier; nodes proceed
 			// when the live ones are ready.
 			Quorum: alive,
@@ -126,9 +148,13 @@ func run(args []string, out io.Writer) error {
 				return
 			}
 			rep := rec.Snapshot()
-			lines = append(lines, lineOut{id: id, line: fmt.Sprintf(
+			line := fmt.Sprintf(
 				"node %v @ %-21s decided %-12q  %4d msgs %5d words %7d bytes",
-				id, addrs[id], decision, rep.Honest.Messages, rep.Honest.Words, rep.Honest.Bytes)})
+				id, addrs[id], decision, rep.Honest.Messages, rep.Honest.Words, rep.Honest.Bytes)
+			if nodeChaos.Enabled() {
+				line += fmt.Sprintf("  chaos: %d dropped %d delayed", rep.ChaosDrops, rep.ChaosDelays)
+			}
+			lines = append(lines, lineOut{id: id, line: line})
 		}()
 	}
 	wg.Wait()
@@ -136,7 +162,11 @@ func run(args []string, out io.Writer) error {
 		return fail
 	}
 	sort.Slice(lines, func(a, b int) bool { return lines[a].id < lines[b].id })
-	fmt.Fprintf(out, "%s over TCP: n=%d, crashed=%d\n", *protocol, *n, *crash)
+	header := fmt.Sprintf("%s over TCP: n=%d, crashed=%d", *protocol, *n, *crash)
+	if chaos.Enabled() {
+		header += fmt.Sprintf(", chaos seed=%d drop=%.2f delay=%.2f", chaos.Seed, chaos.DropRate, chaos.DelayRate)
+	}
+	fmt.Fprintln(out, header)
 	for _, l := range lines {
 		fmt.Fprintln(out, " ", l.line)
 	}

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/explore"
 	"adaptiveba/internal/harness"
 	"adaptiveba/internal/types"
 )
@@ -60,9 +61,23 @@ func run(args []string, out io.Writer) error {
 		sessions = fs.Int("sessions", 1, "run this many concurrent instances of the protocol through the multi-session engine (bb | wba | strongba only)")
 		inflight = fs.Int("inflight", 0, "engine admission window: max sessions in flight (0 = all at once, 1 = strictly serial)")
 		maxqueue = fs.Int("maxqueue", 0, "engine queue bound behind the window: 0 = unbounded, > 0 sheds requests beyond inflight+maxqueue, < 0 sheds everything beyond the window")
+		expl     = fs.Bool("explore", false, "search adversary schedules for the worst case instead of running one spec (bb | wba; uses -n, -f, -seed, -parallel)")
+		gens     = fs.Int("generations", 4, "explore: search generations")
+		popsize  = fs.Int("population", 8, "explore: schedules per generation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *expl {
+		return runExplore(out, explore.Config{
+			Protocol:    explore.Protocol(*protocol),
+			N:           *n,
+			F:           *f,
+			Seed:        *seed,
+			Generations: *gens,
+			Population:  *popsize,
+			Workers:     *workers,
+		})
 	}
 
 	mode, err := parseCertMode(*certmode)
@@ -121,6 +136,22 @@ func run(args []string, out io.Writer) error {
 	}
 	if !o.Agreement || !o.Decided {
 		return fmt.Errorf("run violated agreement or termination")
+	}
+	return nil
+}
+
+// runExplore runs the adversary-schedule search and prints its report:
+// the per-generation worst-schedule table plus the overall worst schedule
+// against the O(n(f+1)) envelope, with the replayable genome dump. The
+// report is byte-identical for a given seed at any -parallel value.
+func runExplore(out io.Writer, cfg explore.Config) error {
+	res, err := explore.Explore(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Report())
+	if len(res.Violating) > 0 {
+		return fmt.Errorf("explore found %d invariant violations", len(res.Violating))
 	}
 	return nil
 }

@@ -27,22 +27,55 @@ import (
 )
 
 // Core provides the boilerplate of a sim.Adversary: a corruption schedule
-// and access to the environment. Behaviours embed it by pointer.
+// and access to the environment. Behaviours embed it by pointer and
+// override only the hooks they need.
+//
+// # Lifecycle
+//
+// The engine drives every adversary through the same call sequence:
+//
+//  1. Init(env) — once, before the run, with the setup artifacts
+//     (parameters and crypto). Core stores env for the behaviour.
+//  2. Corruptions() — once, after Init. The engine validates the
+//     schedule (at most t distinct processes) and applies each
+//     corruption at its tick; a corrupted process's honest machine
+//     stops being stepped from that tick on.
+//  3. Per tick, the Observer hook: Observe(now, id, inbox) once per
+//     currently-corrupted id, exposing the messages that identity
+//     received. Core's default discards them — a behaviour that acts on
+//     what it sees (Mimic, the explorer's schedule adversary) overrides
+//     this; pure crash behaviours keep the no-op.
+//  4. Per tick, the Actor hook: Act(now, honest) after ALL honest
+//     machines produced their tick-now traffic — the adversary is
+//     rushing: it sees the honest sends of the current tick before
+//     committing its own. Returned messages must originate from
+//     currently-corrupted ids (the engine rejects forgeries) and are
+//     delivered at now+1 alongside the honest traffic. Core's default
+//     returns nil: corrupted processes stay mute, which makes an
+//     unoverridden Core + schedule exactly a crash adversary.
+//  5. Quiescent(now) — polled when every honest machine is done; the
+//     run ends only when the adversary also reports quiescent (and no
+//     scheduled corruption is still pending). Core's default is true;
+//     behaviours that act at future ticks (Replay, the attack library)
+//     must override it to keep the run alive until their horizon.
+//
+// Observe and Act receive slices the engine reuses across ticks:
+// implementations that retain messages must copy them.
 type Core struct {
 	Env      sim.Env
 	Schedule []sim.Corruption
 }
 
-// Init implements sim.Adversary.
+// Init implements sim.Adversary (lifecycle step 1).
 func (c *Core) Init(env sim.Env) { c.Env = env }
 
-// Corruptions implements sim.Adversary.
+// Corruptions implements sim.Adversary (lifecycle step 2).
 func (c *Core) Corruptions() []sim.Corruption { return c.Schedule }
 
-// Observe implements sim.Adversary (default: ignore inboxes).
+// Observe implements sim.Adversary (default Observer: ignore inboxes).
 func (c *Core) Observe(types.Tick, types.ProcessID, []proto.Incoming) {}
 
-// Act implements sim.Adversary (default: stay silent).
+// Act implements sim.Adversary (default Actor: stay silent).
 func (c *Core) Act(types.Tick, []sim.Message) []sim.Message { return nil }
 
 // Quiescent implements sim.Adversary (default: no pending actions).

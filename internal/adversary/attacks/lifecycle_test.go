@@ -1,0 +1,81 @@
+package attacks
+
+import (
+	"testing"
+
+	"adaptiveba/internal/adversary"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+// Compile-time interface satisfaction for every attack in this package:
+// each must be a full sim.Adversary (the adversary.Core lifecycle —
+// Init, Corruptions, the Observe/Act hooks, Quiescent). A behaviour
+// that loses one of the methods (e.g. by renaming an override so it no
+// longer shadows Core's no-op) fails here at build time, not at the
+// first simulation that happens to exercise it.
+var (
+	_ sim.Adversary = (*WBAPhaseSpam)(nil)
+	_ sim.Adversary = (*BBPhaseSpam)(nil)
+	_ sim.Adversary = (*BBVettingEquivocator)(nil)
+	_ sim.Adversary = (*FloodChain)(nil)
+	_ sim.Adversary = (*WBAHelpSpam)(nil)
+	_ sim.Adversary = (*LateCertRelease)(nil)
+	_ sim.Adversary = (*SelectivePhaseLeader)(nil)
+	_ sim.Adversary = (*WBASplitVote)(nil)
+)
+
+// TestEveryAttackFollowsTheCoreLifecycle drives each attack through the
+// engine's call order without a simulation: Init then Corruptions must
+// be safe before any tick, the corruption schedule must be within the
+// declared ids, and every attack must eventually report quiescent (a
+// never-quiescent adversary deadlocks the run-termination check).
+func TestEveryAttackFollowsTheCoreLifecycle(t *testing.T) {
+	params, err := types.NewParams(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []types.ProcessID{1, 2}
+	builds := map[string]sim.Adversary{
+		"wba-phase-spam":     NewWBAPhaseSpam(types.Value("w"), ids...),
+		"bb-phase-spam":      NewBBPhaseSpam(ids...),
+		"bb-vetting-equiv":   NewBBVettingEquivocator("tag", types.Value("a"), types.Value("b")),
+		"flood-chain":        NewFloodChain(types.Value("m"), ids...),
+		"wba-help-spam":      NewWBAHelpSpam("tag", 25, ids...),
+		"late-cert-release":  NewLateCertRelease("tag", 25, ids...),
+		"selective-phase":    NewSelectivePhaseLeader("tag", 3, types.Value("v"), ids...),
+		"wba-split-vote":     NewWBASplitVote("tag", params.Quorum(), types.Value("a"), types.Value("b"), ids...),
+		"core-only-is-crash": adversary.NewCrash(ids...),
+	}
+	for name, adv := range builds {
+		t.Run(name, func(t *testing.T) {
+			adv.Init(sim.Env{Params: params})
+			cs := adv.Corruptions()
+			if len(cs) == 0 {
+				t.Fatal("attack corrupts nothing")
+			}
+			if len(cs) > params.T {
+				t.Fatalf("schedule corrupts %d > t=%d processes", len(cs), params.T)
+			}
+			seen := map[types.ProcessID]bool{}
+			for _, c := range cs {
+				if seen[c.ID] {
+					t.Fatalf("duplicate corruption of %v", c.ID)
+				}
+				seen[c.ID] = true
+			}
+			// Every attack must go quiescent by some horizon, or runs
+			// whose honest machines finished would never terminate.
+			quiet := false
+			for now := types.Tick(0); now <= 10_000; now++ {
+				if adv.Quiescent(now) {
+					quiet = true
+					break
+				}
+			}
+			if !quiet {
+				t.Error("attack never reports quiescent within 10k ticks")
+			}
+		})
+	}
+}

@@ -266,6 +266,159 @@ func TestSkewedStartsWithDoubleRounds(t *testing.T) {
 	}
 }
 
+// equivSkewAdv corrupts process 0 and equivocates in the fallback's i0
+// broadcast instance: it signs value "a" toward process 1 and value "b"
+// toward process 2 at tick 0 and stays silent otherwise. Combined with
+// skewed honest starts this is the Lemma 18 stress case: an honest
+// relay crossing a round boundary arrives one LOCAL round later at the
+// other process, where the chain is one signature short of the
+// acceptance threshold min(b-1, t+1) and is rejected.
+type equivSkewAdv struct {
+	crashAdv
+	sent bool
+}
+
+func (a *equivSkewAdv) Act(now types.Tick, _ []sim.Message) []sim.Message {
+	if a.sent {
+		return nil
+	}
+	a.sent = true
+	signer := a.env.Crypto.Signer(0)
+	var msgs []sim.Message
+	for _, half := range []struct {
+		to types.ProcessID
+		v  types.Value
+	}{{1, types.Value("a")}, {2, types.Value("b")}} {
+		chain, err := dolevstrong.NewChain(signer, "fb/i0", half.v)
+		if err != nil {
+			panic(err)
+		}
+		msgs = append(msgs, sim.Message{
+			From: 0, To: half.to, Session: "i0",
+			Payload: dolevstrong.Relay{Sender: 0, V: half.v, Chain: chain},
+		})
+	}
+	return msgs
+}
+
+// skewedMachine defers an inner machine's Begin by delay ticks,
+// buffering anything that arrives before the start (real processes do
+// not drop pre-join traffic; TCP delivers it once they are up).
+type skewedMachine struct {
+	inner   proto.Machine
+	delay   types.Tick
+	started bool
+	buf     []proto.Incoming
+}
+
+func (s *skewedMachine) Begin(now types.Tick) []proto.Outgoing {
+	if s.delay == 0 {
+		s.started = true
+		return s.inner.Begin(now)
+	}
+	return nil
+}
+
+func (s *skewedMachine) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing {
+	if !s.started {
+		if now < s.delay {
+			s.buf = append(s.buf, inbox...)
+			return nil
+		}
+		s.started = true
+		outs := s.inner.Begin(now)
+		inbox = append(s.buf, inbox...)
+		s.buf = nil
+		return append(outs, s.inner.Tick(now, inbox)...)
+	}
+	return s.inner.Tick(now, inbox)
+}
+
+func (s *skewedMachine) Output() (types.Value, bool) { return s.inner.Output() }
+func (s *skewedMachine) Done() bool                  { return s.started && s.inner.Done() }
+
+// TestSkewTableLemma18 pins exactly where the fallback's synchrony
+// margin holds and where it breaks, per Lemma 18 of the paper: correct
+// processes may enter A_fallback up to δ apart, so the paper invokes it
+// with doubled rounds (δ' = 2δ) to keep every pair of correct processes
+// overlapping in every round.
+//
+// The scenario that separates the regimes (n=3, t=1): corrupted sender
+// 0 equivocates "a"/"b" toward the two honest processes, which start
+// skew ticks apart with split inputs "x"/"y". When every honest relay
+// lands within the other's same local round, both extract both forged
+// values, resolve instance i0 to ⊥, and agree. When the skew eats the
+// overlap, the late process's relay misses the early process's final
+// acceptance boundary: one resolves i0 to a forged value, the other to
+// ⊥, their plurality vectors split, and agreement breaks.
+//
+// The table (1 tick = δ; RoundDur 2 = the paper's δ'):
+//
+//	δ'=2δ, skew δ    — Lemma 18's stated margin: MUST agree.
+//	δ'=2δ, skew 2δ   — one tick past the margin: agreement breaks.
+//	δ'=2δ, skew 2δ+1 — further out: still broken.
+//	δ'=δ,  skew 0    — perfectly aligned entries need no margin.
+//	δ'=δ,  skew δ    — why the paper doubles: a bare-δ' fallback is
+//	                   unsafe under the very skew its callers produce.
+//
+// Every row is swept over inbox-shuffle seeds: the verdicts are a
+// property of the timing geometry, not of delivery order within a tick.
+func TestSkewTableLemma18(t *testing.T) {
+	cases := []struct {
+		name      string
+		roundDur  int
+		skew      types.Tick
+		wantAgree bool
+	}{
+		{"doubled-rounds/skew-delta", 2, 1, true},
+		{"doubled-rounds/skew-2delta", 2, 2, false},
+		{"doubled-rounds/skew-2delta+1", 2, 3, false},
+		{"bare-rounds/skew-0", 1, 0, true},
+		{"bare-rounds/skew-delta", 1, 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, shuffle := range []int64{0, 7, 123} {
+				crypto, params := setup(t, 3) // t = 1
+				res, err := sim.Run(sim.Config{
+					Params: params,
+					Crypto: crypto,
+					Factory: func(id types.ProcessID) proto.Machine {
+						input := types.Value("x")
+						if id == 2 {
+							input = types.Value("y")
+						}
+						inner := NewMachine(Config{
+							Params: params, Crypto: crypto, ID: id,
+							Input: input, Tag: "fb", RoundDur: tc.roundDur,
+						})
+						var delay types.Tick
+						if id == 2 {
+							delay = tc.skew
+						}
+						return &skewedMachine{inner: inner, delay: delay}
+					},
+					Adversary:   &equivSkewAdv{crashAdv: crashAdv{ids: []types.ProcessID{0}}},
+					MaxTicks:    200,
+					ShuffleSeed: shuffle,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.AllDecided() {
+					t.Fatalf("shuffle=%d: not all honest processes decided", shuffle)
+				}
+				_, agree := res.Agreement()
+				if agree != tc.wantAgree {
+					t.Errorf("shuffle=%d: agreement=%v, want %v (decisions p1=%q p2=%q)",
+						shuffle, agree, tc.wantAgree,
+						res.Decisions[1], res.Decisions[2])
+				}
+			}
+		})
+	}
+}
+
 func TestAllBottomWhenEverythingCrashes(t *testing.T) {
 	// Corrupt t processes; the n-t correct ones still broadcast their
 	// inputs, so the decision is their common value — but if inputs are

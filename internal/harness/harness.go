@@ -164,6 +164,13 @@ type Spec struct {
 	Halt func(now types.Tick) bool
 	// OnSend, if set, observes every sent message (structured tracing).
 	OnSend func(now types.Tick, m sim.Message, honest bool)
+	// Adversary, if set, overrides the Fault/F-derived adversary: the
+	// factory is invoked once per run with the run's tick budget and must
+	// return a fresh sim.Adversary (nil for a failure-free run). The
+	// schedule explorer (internal/explore) uses this hook to evaluate
+	// searched schedules through the harness; the returned adversary's
+	// corruption schedule is still validated against t by the simulator.
+	Adversary func(maxTicks types.Tick) sim.Adversary
 	// Monitor attaches the wire-level invariant oracle (internal/oracle)
 	// to the run; violations land in Outcome.InvariantViolations.
 	Monitor bool
@@ -294,6 +301,9 @@ func (r *runner) crashSet() []types.ProcessID {
 
 // adversaryFor builds the spec's adversary (nil when f=0).
 func (r *runner) adversaryFor(maxTicks types.Tick) sim.Adversary {
+	if r.spec.Adversary != nil {
+		return r.spec.Adversary(maxTicks)
+	}
 	if r.spec.F == 0 {
 		return nil
 	}

@@ -87,6 +87,13 @@ type Recorder struct {
 	netFlushedBytes  atomic.Int64
 	netDrops         atomic.Int64
 
+	// Chaos-injection counters (internal/transport chaos layer): frames
+	// deliberately lost or deferred by the configured fault schedule —
+	// distinct from netDrops, which are genuine backpressure sheds.
+	// Atomics because delayed-frame timers fire off the tick goroutine.
+	chaosDrops  atomic.Int64
+	chaosDelays atomic.Int64
+
 	// Engine admission counters (internal/engine). Rejects are session
 	// requests shed by the drop-not-block admission policy (window and
 	// queue both full); queued are requests that waited behind the
@@ -179,6 +186,14 @@ func (r *Recorder) RecordNetFlush(frames, bytes int) {
 // policy (the peer's outbox was full, or its connection already failed).
 func (r *Recorder) RecordNetDrop() { r.netDrops.Add(1) }
 
+// RecordChaosDrop notes one frame deliberately lost by the transport's
+// chaos layer (drop verdict, partition window, or peer flap).
+func (r *Recorder) RecordChaosDrop() { r.chaosDrops.Add(1) }
+
+// RecordChaosDelay notes one frame deferred by chaos-injected latency
+// jitter (delayed frames may overtake their successors: reordering).
+func (r *Recorder) RecordChaosDelay() { r.chaosDelays.Add(1) }
+
 // RecordEngineReject notes one session request shed by the engine's
 // admission policy (in-flight window and queue both full).
 func (r *Recorder) RecordEngineReject() { r.engineRejects.Add(1) }
@@ -210,6 +225,9 @@ type Report struct {
 	NetFlushedFrames int64
 	NetFlushedBytes  int64
 	NetDrops         int64
+	// Chaos-injection counters (0 unless the transport chaos layer is on).
+	ChaosDrops  int64
+	ChaosDelays int64
 	// Engine admission counters (0 outside multi-session engine runs).
 	EngineRejects int64
 	EngineQueued  int64
@@ -235,6 +253,8 @@ func (r *Recorder) Snapshot() Report {
 		NetFlushedFrames: r.netFlushedFrames.Load(),
 		NetFlushedBytes:  r.netFlushedBytes.Load(),
 		NetDrops:         r.netDrops.Load(),
+		ChaosDrops:       r.chaosDrops.Load(),
+		ChaosDelays:      r.chaosDelays.Load(),
 		EngineRejects:    r.engineRejects.Load(),
 		EngineQueued:     r.engineQueued.Load(),
 		EngineLate:       r.engineLate.Load(),

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"adaptiveba/internal/core/bb"
+	"adaptiveba/internal/core/valid"
+	"adaptiveba/internal/core/wba"
 	"adaptiveba/internal/crypto/sig"
 	"adaptiveba/internal/crypto/threshold"
 	"adaptiveba/internal/metrics"
@@ -168,6 +170,25 @@ type ClusterResult struct {
 	CSV []byte
 	// Drops is the backpressure total across nodes (0 on healthy runs).
 	Drops int64
+	// ChaosDrops / ChaosDelays total the chaos layer's injections across
+	// nodes (0 with chaos off).
+	ChaosDrops  int64
+	ChaosDelays int64
+}
+
+// ClusterOpts configures one in-process loopback cluster run.
+type ClusterOpts struct {
+	N      int
+	Legacy bool // pre-batching synchronous data plane (A/B baseline)
+	Tick   time.Duration
+	// Protocol selects the machines: "bb" (default, a broadcast from
+	// process 0) or "wba" (weak BA on a unanimous input) — wba is the
+	// chaos workhorse because its help round and fallback certificate
+	// recover receivers that chaos starved of frames.
+	Protocol string
+	// Chaos, when enabled, injects the same seeded fault schedule into
+	// every node (each node draws verdicts from Chaos.Seed + its ID).
+	Chaos ChaosConfig
 }
 
 // RunLoopbackCluster runs an n-process BB broadcast over real localhost
@@ -176,16 +197,24 @@ type ClusterResult struct {
 // byte-identical CSVs and decisions — the golden-trace determinism
 // pattern applied to the TCP stack.
 func RunLoopbackCluster(n int, legacy bool, tick time.Duration) (*ClusterResult, error) {
-	params, err := types.NewParams(n)
+	return RunCluster(ClusterOpts{N: n, Legacy: legacy, Tick: tick})
+}
+
+// RunCluster runs an in-process loopback cluster per opts: n real TCP
+// nodes on localhost, each driving one protocol machine, with optional
+// chaos injection on every node's send path. It returns the decisions,
+// the canonical metrics CSV, and the fault-injection totals.
+func RunCluster(opts ClusterOpts) (*ClusterResult, error) {
+	params, err := types.NewParams(opts.N)
 	if err != nil {
 		return nil, err
 	}
-	ring, err := sig.NewHMACRing(n, []byte("net-cluster"))
+	ring, err := sig.NewHMACRing(opts.N, []byte("net-cluster"))
 	if err != nil {
 		return nil, err
 	}
 	crypto := proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("net-cluster-dealer"))
-	addrs, err := reserveLoopbackAddrs(n)
+	addrs, err := reserveLoopbackAddrs(opts.N)
 	if err != nil {
 		return nil, err
 	}
@@ -198,24 +227,42 @@ func RunLoopbackCluster(n int, legacy bool, tick time.Duration) (*ClusterResult,
 		mu       sync.Mutex
 		firstErr error
 	)
-	decisions := make([]types.Value, n)
-	recs := make([]*metrics.Recorder, n)
-	for i := 0; i < n; i++ {
+	decisions := make([]types.Value, opts.N)
+	recs := make([]*metrics.Recorder, opts.N)
+	for i := 0; i < opts.N; i++ {
 		id := types.ProcessID(i)
 		recs[i] = metrics.NewRecorder()
-		machine := bb.NewMachine(bb.Config{
-			Params: params, Crypto: crypto, ID: id,
-			Sender: 0, Input: types.Value("net-bench-broadcast"), Tag: "netbench",
-		})
+		var machine proto.Machine
+		switch opts.Protocol {
+		case "", "bb":
+			machine = bb.NewMachine(bb.Config{
+				Params: params, Crypto: crypto, ID: id,
+				Sender: 0, Input: types.Value("net-bench-broadcast"), Tag: "netbench",
+			})
+		case "wba":
+			machine = wba.NewMachine(wba.Config{
+				Params: params, Crypto: crypto, ID: id,
+				Input: types.Value("net-bench-agree"), Predicate: valid.NonBottom(),
+				Tag: "netbench",
+			})
+		default:
+			return nil, fmt.Errorf("transport: unknown cluster protocol %q", opts.Protocol)
+		}
+		chaosCfg := opts.Chaos
+		if chaosCfg.Enabled() {
+			// Distinct per-node verdict streams from one cluster seed.
+			chaosCfg.Seed = opts.Chaos.Seed + int64(i)*0x9e3779b9
+		}
 		node, err := NewNode(Config{
 			Params:       params,
 			Crypto:       crypto,
 			ID:           id,
 			Addrs:        addrs,
 			Registry:     NewFullRegistry(),
-			TickInterval: tick,
+			TickInterval: opts.Tick,
 			Recorder:     recs[i],
-			LegacySend:   legacy,
+			LegacySend:   opts.Legacy,
+			Chaos:        chaosCfg,
 		}, machine)
 		if err != nil {
 			return nil, err
@@ -239,7 +286,10 @@ func RunLoopbackCluster(n int, legacy bool, tick time.Duration) (*ClusterResult,
 	}
 	res := &ClusterResult{Decisions: decisions, CSV: MetricsCSV(recs)}
 	for _, r := range recs {
-		res.Drops += r.Snapshot().NetDrops
+		rep := r.Snapshot()
+		res.Drops += rep.NetDrops
+		res.ChaosDrops += rep.ChaosDrops
+		res.ChaosDelays += rep.ChaosDelays
 	}
 	return res, nil
 }

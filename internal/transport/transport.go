@@ -135,6 +135,11 @@ type Config struct {
 	// WriteDeadline bounds each coalesced flush write (and each legacy
 	// synchronous write), so a dead link fails fast. Default 10s.
 	WriteDeadline time.Duration
+	// Chaos, when any knob is set, injects seeded faults into the batched
+	// send path: per-frame drops, latency jitter (which reorders), parity
+	// partitions, and peer flaps. See ChaosConfig. Incompatible with
+	// LegacySend (the synchronous path has no outboxes to defer into).
+	Chaos ChaosConfig
 }
 
 // Node runs one machine over TCP. Close may be called from any
@@ -156,6 +161,7 @@ type Node struct {
 	// barrier and only read by the tick goroutine thereafter.
 	outboxes []*peerOutbox
 	scratch  sendScratch
+	chaos    *chaos // nil unless Config.Chaos is enabled
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -203,14 +209,21 @@ func NewNode(cfg Config, machine proto.Machine) (*Node, error) {
 	if cfg.WriteDeadline <= 0 {
 		cfg.WriteDeadline = 10 * time.Second
 	}
-	return &Node{
+	if cfg.Chaos.Enabled() && cfg.LegacySend {
+		return nil, fmt.Errorf("%w: chaos injection requires the batched send path", ErrConfig)
+	}
+	n := &Node{
 		cfg:     cfg,
 		machine: machine,
 		readyCh: make(chan types.ProcessID, cfg.Params.N*2),
 		inbound: make(map[net.Conn]struct{}),
 		closed:  make(chan struct{}),
 		scratch: sendScratch{payloadW: wire.NewWriter(), frameW: wire.NewWriter()},
-	}, nil
+	}
+	if cfg.Chaos.Enabled() {
+		n.chaos = newChaos(cfg.Chaos, cfg.ID, cfg.Params.N, cfg.TickInterval, cfg.Recorder)
+	}
+	return n, nil
 }
 
 // Close shuts the node down: it stops accepting, closes every inbound
@@ -526,6 +539,9 @@ func (n *Node) tickLoop(ctx context.Context) (types.Value, error) {
 		case <-ticker.C:
 		}
 		now++
+		if n.chaos != nil {
+			n.chaos.tick(now)
+		}
 		if n.cfg.CrashAfter > 0 && now >= n.cfg.CrashAfter {
 			n.closeOutbound()
 			return nil, ErrCrashed
@@ -604,6 +620,22 @@ func (n *Node) sendBatched(outs []proto.Outgoing) {
 			continue
 		}
 		body := s.frameW.Bytes()
+		if n.chaos != nil && n.chaos.apply(ob, o.To, body) {
+			// The frame was chaos-dropped or deferred. Either way the
+			// machine sent it, so it is metered like any send: the honest
+			// word count must not depend on what the network does next.
+			if n.cfg.Recorder != nil && o.To != n.cfg.ID {
+				n.cfg.Recorder.RecordSend(metrics.SendEvent{
+					From:   n.cfg.ID,
+					To:     o.To,
+					Words:  s.words,
+					Bytes:  len(body) + 5,
+					Layer:  o.Session,
+					Honest: true,
+				})
+			}
+			continue
+		}
 		if err := ob.enqueue(frameMsg, body); err != nil {
 			n.logf("send to %v: %v", o.To, err)
 			if n.cfg.Recorder != nil {
