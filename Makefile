@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-json bench-sim-json bench-net-json bench-engine-json bench-explore-json explore chaos-smoke experiments examples fuzz cover clean
+.PHONY: all build test test-short test-race vet bench bench-json bench-sim-json bench-net-json bench-engine-json bench-explore-json bench-scale-json explore chaos-smoke experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -65,6 +65,16 @@ bench-engine-json:
 # invariant. Fully seeded: re-running reproduces the committed bytes.
 bench-explore-json:
 	$(GO) run ./cmd/adaptiveba-bench -bench-explore-json BENCH_explore.json
+
+# Regenerate the large-n scale baseline (BENCH_scale.json): adaptive BB
+# vs King–Saia committee sampling vs floodset over n in {64,256,1024,4096}
+# x f in {0,1,ceil(sqrt n),t} under crash faults, recording words/process,
+# allocs/tick, and wall clock per decision. Adaptive BB's fallback regime
+# (f >= (n-t-1)/2 at n >= 1024) is Theta(n^3) words and is reported as a
+# skipped cell carrying the analytic envelope instead of being executed.
+# Takes several minutes (the n=4096 cells dominate).
+bench-scale-json:
+	$(GO) run ./cmd/adaptiveba-bench -bench-scale-json BENCH_scale.json
 
 # Interactive single-grid-point search with a full report.
 explore:

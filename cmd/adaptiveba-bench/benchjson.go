@@ -42,14 +42,14 @@ type cryptoBenchRun struct {
 
 // cryptoBench is the full A/B report written by -bench-json.
 type cryptoBench struct {
-	Protocol string `json:"protocol"`
-	Fault    string `json:"fault"`
-	Scheme   string `json:"scheme"`
-	CertMode string `json:"cert_mode"`
-	Ns       []int  `json:"ns"`
-	Fs       []int  `json:"fs"`
-	Workers  int    `json:"pool_workers"`
-	GOMAXPROCS int  `json:"gomaxprocs"`
+	Protocol   string `json:"protocol"`
+	Fault      string `json:"fault"`
+	Scheme     string `json:"scheme"`
+	CertMode   string `json:"cert_mode"`
+	Ns         []int  `json:"ns"`
+	Fs         []int  `json:"fs"`
+	Workers    int    `json:"pool_workers"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 
 	Cached   cryptoBenchRun `json:"cached"`
 	Uncached cryptoBenchRun `json:"uncached"`

@@ -1,0 +1,246 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"adaptiveba/internal/harness"
+	"adaptiveba/internal/types"
+)
+
+// scaleCell is one (protocol, n, f) measurement of the scale grid.
+type scaleCell struct {
+	Protocol string `json:"protocol"`
+	N        int    `json:"n"`
+	F        int    `json:"f"`
+
+	// Skipped marks grid cells whose cost is structurally infeasible to
+	// execute (the adaptive protocol's quadratic-regime fallback runs n
+	// parallel Dolev–Strong instances — Θ(n³) words — which at n ≥ 1024
+	// is tens of billions of messages). The skip IS the measurement: the
+	// estimate shows the cliff the paper's adaptivity avoids when f is
+	// small.
+	Skipped        bool   `json:"skipped,omitempty"`
+	SkipReason     string `json:"skip_reason,omitempty"`
+	EstimatedWords int64  `json:"estimated_words,omitempty"`
+
+	Words           int64   `json:"words"`
+	Messages        int64   `json:"messages"`
+	WordsPerProcess float64 `json:"words_per_process"`
+	Ticks           int64   `json:"ticks"`
+	DecisionTick    int64   `json:"decision_tick"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	// AllocsPerTick is the whole-run heap-allocation count divided by
+	// ticks — an upper bound on the steady-state rate (it includes
+	// machine construction); the alloc-ceiling tests pin the steady
+	// state itself.
+	AllocsPerTick float64 `json:"allocs_per_tick"`
+	Decided       bool    `json:"decided"`
+	Agreement     bool    `json:"agreement"`
+}
+
+// scaleBench is the report written by -bench-scale-json.
+type scaleBench struct {
+	Fault      string `json:"fault"`
+	Scheme     string `json:"scheme"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Ns         []int  `json:"ns"`
+	// FsPerN documents the f axis: {0, 1, ⌈√n⌉, t} per n.
+	FsPerN    map[string][]int `json:"fs_per_n"`
+	Protocols []string         `json:"protocols"`
+
+	Cells []scaleCell `json:"cells"`
+
+	// AdaptiveWinsFewFault asserts the headline: for every executed cell
+	// with f ≤ √n, the adaptive protocol's words/process is below the
+	// committee baseline's at the same (n, f).
+	AdaptiveWinsFewFault bool `json:"adaptive_wins_few_fault"`
+	// LargestDecidedN is the largest n at which every protocol's f=0
+	// cell completed a decision.
+	LargestDecidedN int `json:"largest_decided_n"`
+}
+
+// scaleProtocols orders the compared protocols.
+var scaleProtocols = []string{
+	string(harness.ProtocolBB),
+	string(harness.ProtocolCommittee),
+	string(harness.ProtocolFloodSet),
+}
+
+// isqrt returns ⌈√n⌉.
+func isqrt(n int) int { return int(math.Ceil(math.Sqrt(float64(n)))) }
+
+// scaleFs returns the f axis for one n: {0, 1, ⌈√n⌉, t}, deduplicated.
+func scaleFs(n int) []int {
+	t := (n - 1) / 2
+	raw := []int{0, 1, isqrt(n), t}
+	fs := raw[:0]
+	for _, f := range raw {
+		if len(fs) == 0 || f > fs[len(fs)-1] {
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+// fallbackEnvelope is the explore package's piecewise word envelope: the
+// adaptive path costs ≤ 12·n·(f+1) words, and once f reaches the
+// fallback threshold the n parallel Dolev–Strong instances add ≤ 4·n³.
+func fallbackEnvelope(n, f int) int64 {
+	return 12*int64(n)*int64(f+1) + 4*int64(n)*int64(n)*int64(n)
+}
+
+// skipCell reports whether a grid cell is infeasible to execute, with
+// the reason. Only the adaptive protocol's quadratic regime at n ≥ 1024
+// qualifies: everything else on the grid runs.
+func skipCell(protocol string, n, f int) (bool, string) {
+	if protocol != string(harness.ProtocolBB) || n < 1024 {
+		return false, ""
+	}
+	params, err := types.NewParams(n)
+	if err != nil || f < params.FallbackThreshold() {
+		return false, ""
+	}
+	return true, fmt.Sprintf(
+		"adaptive fallback regime (f=%d ≥ threshold %d) runs n parallel Dolev–Strong instances: Θ(n³) ≈ %d words is infeasible to simulate at n=%d; estimated_words carries the envelope",
+		f, params.FallbackThreshold(), fallbackEnvelope(n, f), n)
+}
+
+// runScaleCell executes one grid cell and measures words, wall clock,
+// and allocation rate.
+func runScaleCell(protocol string, n, f int) (scaleCell, error) {
+	cell := scaleCell{Protocol: protocol, N: n, F: f}
+	if skip, reason := skipCell(protocol, n, f); skip {
+		cell.Skipped = true
+		cell.SkipReason = reason
+		cell.EstimatedWords = fallbackEnvelope(n, f)
+		return cell, nil
+	}
+	spec := harness.Spec{
+		Protocol: harness.Protocol(protocol),
+		N:        n,
+		F:        f,
+		Fault:    harness.FaultCrash,
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	o, err := harness.Run(spec)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return cell, fmt.Errorf("%s n=%d f=%d: %w", protocol, n, f, err)
+	}
+	cell.Words = o.Words
+	cell.Messages = o.Messages
+	cell.WordsPerProcess = float64(o.Words) / float64(n)
+	cell.Ticks = int64(o.Ticks)
+	cell.DecisionTick = int64(o.DecisionTick)
+	cell.WallSeconds = wall.Seconds()
+	if o.Ticks > 0 {
+		cell.AllocsPerTick = float64(after.Mallocs-before.Mallocs) / float64(o.Ticks)
+	}
+	cell.Decided = o.Decided
+	cell.Agreement = o.Agreement
+	return cell, nil
+}
+
+// runBenchScaleJSON sweeps the scale grid — n ∈ ns × f ∈ {0, 1, √n, t} ×
+// {adaptive BB, committee sampling, floodset} — and writes BENCH_scale
+// to path. Cells run sequentially (one at a time) so per-cell wall clock
+// and allocation rates are not confounded by sibling runs.
+func runBenchScaleJSON(out io.Writer, path string, ns []int) error {
+	rep := scaleBench{
+		Fault:      string(harness.FaultCrash),
+		Scheme:     "hmac",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Ns:         ns,
+		FsPerN:     make(map[string][]int, len(ns)),
+		Protocols:  scaleProtocols,
+	}
+	for _, n := range ns {
+		rep.FsPerN[fmt.Sprint(n)] = scaleFs(n)
+	}
+
+	adaptivePerProc := make(map[[2]int]float64)
+	committeePerProc := make(map[[2]int]float64)
+	for _, n := range ns {
+		for _, f := range scaleFs(n) {
+			for _, protocol := range scaleProtocols {
+				cell, err := runScaleCell(protocol, n, f)
+				if err != nil {
+					return err
+				}
+				rep.Cells = append(rep.Cells, cell)
+				status := "ok"
+				switch {
+				case cell.Skipped:
+					status = "skipped (fallback regime)"
+				case !cell.Decided || !cell.Agreement:
+					status = "NO DECISION"
+				}
+				fmt.Fprintf(out, "%-10s n=%-5d f=%-5d %12d words %8.1f w/proc %7.2fs  %s\n",
+					protocol, n, f, cell.Words, cell.WordsPerProcess, cell.WallSeconds, status)
+				if !cell.Skipped && cell.Decided {
+					switch protocol {
+					case string(harness.ProtocolBB):
+						adaptivePerProc[[2]int{n, f}] = cell.WordsPerProcess
+					case string(harness.ProtocolCommittee):
+						committeePerProc[[2]int{n, f}] = cell.WordsPerProcess
+					}
+				}
+			}
+		}
+	}
+
+	rep.AdaptiveWinsFewFault = true
+	for _, n := range ns {
+		for _, f := range scaleFs(n) {
+			if f > isqrt(n) {
+				continue
+			}
+			a, okA := adaptivePerProc[[2]int{n, f}]
+			c, okC := committeePerProc[[2]int{n, f}]
+			if !okA || !okC || a >= c {
+				rep.AdaptiveWinsFewFault = false
+			}
+		}
+	}
+	for _, n := range ns {
+		allDecided := true
+		for _, protocol := range scaleProtocols {
+			found := false
+			for i := range rep.Cells {
+				c := &rep.Cells[i]
+				if c.Protocol == protocol && c.N == n && c.F == 0 && c.Decided {
+					found = true
+					break
+				}
+			}
+			if !found {
+				allDecided = false
+			}
+		}
+		if allDecided && n > rep.LargestDecidedN {
+			rep.LargestDecidedN = n
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nwrote %s (largest fully-decided n: %d, adaptive wins f ≤ √n: %v)\n",
+		path, rep.LargestDecidedN, rep.AdaptiveWinsFewFault)
+	return nil
+}

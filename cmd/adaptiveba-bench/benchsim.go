@@ -24,12 +24,12 @@ type simBenchRun struct {
 
 // simBench is the full A/B report written by -bench-sim-json.
 type simBench struct {
-	Protocol   string `json:"protocol"`
-	Fault      string `json:"fault"`
-	Scheme     string `json:"scheme"`
-	CertMode   string `json:"cert_mode"`
-	Ns         []int  `json:"ns"`
-	Fs         []int  `json:"fs"`
+	Protocol string `json:"protocol"`
+	Fault    string `json:"fault"`
+	Scheme   string `json:"scheme"`
+	CertMode string `json:"cert_mode"`
+	Ns       []int  `json:"ns"`
+	Fs       []int  `json:"fs"`
 	// PoolWorkers is pinned to 1 for both arms: run-level parallelism
 	// would confound the measurement, which isolates intra-run tick
 	// stepping (the engine's -tick-workers axis).

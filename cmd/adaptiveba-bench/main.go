@@ -29,31 +29,33 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("adaptiveba-bench", flag.ContinueOnError)
 	var (
-		list     = fs.Bool("list", false, "list experiments")
-		exp      = fs.String("exp", "", "run one experiment by id")
-		all      = fs.Bool("all", false, "run every experiment")
-		sweep    = fs.Bool("sweep", false, "run an (n, f) sweep and print a table or CSV")
-		protocol = fs.String("protocol", "bb", "sweep protocol")
-		nsFlag   = fs.String("ns", "11,21,41", "sweep n values (comma-separated)")
-		fsFlag   = fs.String("fs", "0,1,2,4", "sweep f values (comma-separated)")
-		fault    = fs.String("fault", "crash", "sweep fault pattern")
-		asCSV    = fs.Bool("csv", false, "emit the sweep as CSV")
-		asPlot   = fs.Bool("plot", false, "render the sweep as an ASCII chart (words vs f, one series per n)")
-		workers  = fs.Int("parallel", 0, "worker count for grid points (0 = one per CPU, 1 = sequential)")
-		ed25519  = fs.Bool("ed25519", false, "sweep with real Ed25519 signatures")
-		certmode = fs.String("certmode", "compact", "sweep threshold certificate encoding: compact | aggregate")
-		nocache  = fs.Bool("no-verify-cache", false, "sweep with the verification fast path disabled")
-		tickW    = fs.Int("tick-workers", 0, "per-tick worker count inside one run (0 = one per CPU, 1 = serial); any value yields identical output")
-		benchOut = fs.String("bench-json", "", "run the sweep cached AND uncached, write a machine-readable A/B report to this path")
-		benchSim = fs.String("bench-sim-json", "", "run the sweep serial AND parallel (tick workers 1 vs GOMAXPROCS), write a machine-readable A/B report to this path")
-		benchNet = fs.String("bench-net-json", "", "A/B the transport send paths (batched vs -legacy-send) over loopback TCP, write a machine-readable report to this path")
-		benchEng = fs.String("bench-engine-json", "", "A/B the multi-session engine's pipelined replicated log against serial slot-at-a-time execution, write a machine-readable report to this path")
-		sessions = fs.Int("sessions", 64, "engine A/B: total log slots per run")
-		inflight = fs.String("inflight", "1,4,16,64", "engine A/B: admission windows to measure (comma-separated; serial baseline first)")
-		benchExp = fs.String("bench-explore-json", "", "run the adversarial schedule search over the full (n, 0..t) grid, write worst-words-vs-envelope to this path")
-		expSeed  = fs.Int64("seed", 1, "explore sweep: search seed (whole report is a pure function of it)")
-		expGens  = fs.Int("generations", 3, "explore sweep: generations per grid point")
-		expPop   = fs.Int("population", 6, "explore sweep: population per generation")
+		list       = fs.Bool("list", false, "list experiments")
+		exp        = fs.String("exp", "", "run one experiment by id")
+		all        = fs.Bool("all", false, "run every experiment")
+		sweep      = fs.Bool("sweep", false, "run an (n, f) sweep and print a table or CSV")
+		protocol   = fs.String("protocol", "bb", "sweep protocol")
+		nsFlag     = fs.String("ns", "11,21,41", "sweep n values (comma-separated)")
+		fsFlag     = fs.String("fs", "0,1,2,4", "sweep f values (comma-separated)")
+		fault      = fs.String("fault", "crash", "sweep fault pattern")
+		asCSV      = fs.Bool("csv", false, "emit the sweep as CSV")
+		asPlot     = fs.Bool("plot", false, "render the sweep as an ASCII chart (words vs f, one series per n)")
+		workers    = fs.Int("parallel", 0, "worker count for grid points (0 = one per CPU, 1 = sequential)")
+		ed25519    = fs.Bool("ed25519", false, "sweep with real Ed25519 signatures")
+		certmode   = fs.String("certmode", "compact", "sweep threshold certificate encoding: compact | aggregate")
+		nocache    = fs.Bool("no-verify-cache", false, "sweep with the verification fast path disabled")
+		tickW      = fs.Int("tick-workers", 0, "per-tick worker count inside one run (0 = one per CPU, 1 = serial); any value yields identical output")
+		benchOut   = fs.String("bench-json", "", "run the sweep cached AND uncached, write a machine-readable A/B report to this path")
+		benchSim   = fs.String("bench-sim-json", "", "run the sweep serial AND parallel (tick workers 1 vs GOMAXPROCS), write a machine-readable A/B report to this path")
+		benchNet   = fs.String("bench-net-json", "", "A/B the transport send paths (batched vs -legacy-send) over loopback TCP, write a machine-readable report to this path")
+		benchEng   = fs.String("bench-engine-json", "", "A/B the multi-session engine's pipelined replicated log against serial slot-at-a-time execution, write a machine-readable report to this path")
+		sessions   = fs.Int("sessions", 64, "engine A/B: total log slots per run")
+		inflight   = fs.String("inflight", "1,4,16,64", "engine A/B: admission windows to measure (comma-separated; serial baseline first)")
+		benchExp   = fs.String("bench-explore-json", "", "run the adversarial schedule search over the full (n, 0..t) grid, write worst-words-vs-envelope to this path")
+		benchScale = fs.String("bench-scale-json", "", "sweep the large-n grid (adaptive BB vs committee sampling vs floodset over n ∈ -scale-ns × f ∈ {0,1,√n,t}), write a machine-readable report to this path")
+		scaleNs    = fs.String("scale-ns", "64,256,1024,4096", "scale sweep: n values (comma-separated)")
+		expSeed    = fs.Int64("seed", 1, "explore sweep: search seed (whole report is a pure function of it)")
+		expGens    = fs.Int("generations", 3, "explore sweep: generations per grid point")
+		expPop     = fs.Int("population", 6, "explore sweep: population per generation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -153,6 +155,13 @@ func run(args []string, out io.Writer) error {
 			CertMode:      mode,
 			NoVerifyCache: *nocache,
 		}, ns, fvals)
+	}
+	if *benchScale != "" {
+		ns, err := parseInts(*scaleNs)
+		if err != nil {
+			return fmt.Errorf("-scale-ns: %w", err)
+		}
+		return runBenchScaleJSON(out, *benchScale, ns)
 	}
 	switch {
 	case *list:

@@ -43,7 +43,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("adaptiveba-sim", flag.ContinueOnError)
 	var (
-		protocol = fs.String("protocol", "bb", "protocol: bb | wba | strongba | dolev-strong | echo-bb | fallback")
+		protocol = fs.String("protocol", "bb", "protocol: bb | wba | strongba | dolev-strong | echo-bb | fallback | floodset | committee")
 		n        = fs.Int("n", 9, "number of processes")
 		f        = fs.Int("f", 0, "number of corrupted processes")
 		fault    = fs.String("fault", "crash", "fault pattern: crash | crash-leader | replay")

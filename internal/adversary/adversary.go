@@ -212,8 +212,14 @@ func NewReplay(seed int64, horizon types.Tick, ids ...types.ProcessID) *Replay {
 
 // Act implements sim.Adversary.
 func (r *Replay) Act(now types.Tick, honest []sim.Message) []sim.Message {
+	if now > r.Horizon {
+		// Quiescent: recording past the horizon would only grow the
+		// buffer without ever being replayed (unbounded memory on long
+		// large-n runs).
+		return nil
+	}
 	r.recorded = append(r.recorded, honest...)
-	if now > r.Horizon || len(r.recorded) == 0 || len(r.Schedule) == 0 {
+	if len(r.recorded) == 0 || len(r.Schedule) == 0 {
 		return nil
 	}
 	var msgs []sim.Message

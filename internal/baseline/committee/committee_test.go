@@ -1,0 +1,177 @@
+package committee
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptiveba/internal/adversary"
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+func run(t *testing.T, n int, adv sim.Adversary, input func(types.ProcessID) types.Value) (*sim.Result, map[types.ProcessID]*Machine) {
+	t.Helper()
+	params, err := types.NewParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committee sampling is unauthenticated; crypto is engine plumbing.
+	ring, err := sig.NewHMACRing(n, []byte("cmte"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crypto := proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("d"))
+	machines := make(map[types.ProcessID]*Machine)
+	res, err := sim.Run(sim.Config{
+		Params: params,
+		Crypto: crypto,
+		Factory: func(id types.ProcessID) proto.Machine {
+			m := NewMachine(Config{Params: params, ID: id, Input: input(id), Seed: 42})
+			machines[id] = m
+			return m
+		},
+		Adversary: adv,
+		MaxTicks:  types.Tick(2 * (Size(n) + 8)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, machines
+}
+
+func distinct(id types.ProcessID) types.Value {
+	return types.Value(fmt.Sprintf("v%02d", id))
+}
+
+func TestSampleDeterministicAndSized(t *testing.T) {
+	for _, n := range []int{1, 2, 9, 33, 64, 257, 1024, 4096} {
+		a, b := Sample(n, 7), Sample(n, 7)
+		if !a.Equal(b) {
+			t.Errorf("n=%d: same seed sampled different committees", n)
+		}
+		if a.Count() != Size(n) {
+			t.Errorf("n=%d: committee size %d, want %d", n, a.Count(), Size(n))
+		}
+		if Size(n) < n { // a full committee is seed-independent
+			if c := Sample(n, 8); c.Equal(a) {
+				t.Errorf("n=%d: different seeds sampled identical committees", n)
+			}
+		}
+	}
+	if got := Size(4096); got != 128 {
+		t.Errorf("Size(4096) = %d, want 128", got)
+	}
+}
+
+func TestFailureFreeAgreementAndValidity(t *testing.T) {
+	res, machines := run(t, 33, nil, distinct)
+	if !res.AllDecided() {
+		t.Fatal("not all decided")
+	}
+	v, ok := res.Agreement()
+	if !ok {
+		t.Fatal("no agreement")
+	}
+	// Validity: the decision is some process's input (the committee's
+	// minimum of the received inputs).
+	if !v.Equal(types.Value("v00")) {
+		t.Errorf("decided %v, want the global minimum v00", v)
+	}
+	// Early stopping: failure-free runs decide in ~5 rounds, far below
+	// the c+2 cap.
+	for id, m := range machines {
+		if m.Rounds() > 6 {
+			t.Errorf("%v used %d rounds at f=0", id, m.Rounds())
+		}
+	}
+}
+
+func TestUnanimity(t *testing.T) {
+	res, _ := run(t, 9, nil, func(types.ProcessID) types.Value { return types.Value("same") })
+	v, ok := res.Agreement()
+	if !ok || !v.Equal(types.Value("same")) {
+		t.Errorf("decided %v (%v)", v, ok)
+	}
+}
+
+func TestCrashFaultsStillDecide(t *testing.T) {
+	// Crash the first 4 processes (some may be committee members); the
+	// survivors must still converge and agree.
+	res, _ := run(t, 17, adversary.NewCrash(1, 2, 3, 4), distinct)
+	if !res.AllDecided() {
+		t.Fatalf("not all honest decided (f=%d)", res.F())
+	}
+	if _, ok := res.Agreement(); !ok {
+		t.Fatal("honest processes disagree")
+	}
+}
+
+func TestStaggeredMemberCrash(t *testing.T) {
+	// Crash two committee members mid-run: the clean-round rule must
+	// absorb the failure and the survivors still announce.
+	members := Sample(33, 42)
+	var victims []types.ProcessID
+	for id, ok := members.NextSet(0); ok && len(victims) < 2; id, ok = members.NextSet(int(id) + 1) {
+		victims = append(victims, id)
+	}
+	at := map[types.ProcessID]types.Tick{victims[0]: 2, victims[1]: 3}
+	res, _ := run(t, 33, adversary.NewCrashAt(at), distinct)
+	if !res.AllDecided() {
+		t.Fatal("not all honest decided after member crashes")
+	}
+	if _, ok := res.Agreement(); !ok {
+		t.Fatal("honest processes disagree after member crashes")
+	}
+}
+
+func TestSubquadraticWords(t *testing.T) {
+	// The whole point: total words ≈ 2nc + rounds·c², asymptotically
+	// below n² full flooding. At n=257, c=33: bound ≈ 2·257·33 + 8·33²
+	// ≈ 26k words versus 66k for one flooding round alone.
+	n := 257
+	res, _ := run(t, n, nil, func(types.ProcessID) types.Value { return types.One })
+	words := res.Report.Words()
+	c := int64(Size(n))
+	bound := 3*int64(n)*c + 10*c*c
+	if words > bound {
+		t.Errorf("words = %d, want ≤ %d (Õ(n^1.5))", words, bound)
+	}
+	if words >= int64(n)*int64(n) {
+		t.Errorf("words = %d, not subquadratic (n² = %d)", words, n*n)
+	}
+}
+
+func TestShuffleInsensitive(t *testing.T) {
+	// Arrival order within a tick must not change decisions.
+	params, _ := types.NewParams(17)
+	ring, _ := sig.NewHMACRing(17, []byte("cmte"))
+	crypto := proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("d"))
+	var base types.Value
+	for i, seed := range []int64{0, 7, 99} {
+		res, err := sim.Run(sim.Config{
+			Params: params,
+			Crypto: crypto,
+			Factory: func(id types.ProcessID) proto.Machine {
+				return NewMachine(Config{Params: params, ID: id, Input: distinct(id), Seed: 42})
+			},
+			Adversary:   adversary.NewCrash(1, 2),
+			MaxTicks:    200,
+			ShuffleSeed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok := res.Agreement()
+		if !ok {
+			t.Fatalf("seed %d: no agreement", seed)
+		}
+		if i == 0 {
+			base = v
+		} else if !v.Equal(base) {
+			t.Errorf("seed %d decided %v, seed 0 decided %v", seed, v, base)
+		}
+	}
+}

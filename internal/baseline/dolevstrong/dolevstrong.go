@@ -29,9 +29,9 @@ import (
 
 // signBase is the byte string every chain signature covers: the instance
 // tag, the designated sender, and the value. Domain separation across
-// protocol layers comes from the tag.
-func signBase(tag string, sender types.ProcessID, v types.Value) []byte {
-	w := wire.NewWriter()
+// protocol layers comes from the tag. The bytes are views into w's
+// buffer; callers must finish with them before returning w to the pool.
+func signBase(w *wire.Writer, tag string, sender types.ProcessID, v types.Value) []byte {
 	w.PutString("ds")
 	w.PutString(tag)
 	w.PutProcess(sender)
@@ -81,13 +81,13 @@ func (c Chain) Valid(scheme sig.Scheme, tag string, sender types.ProcessID, v ty
 	if c.Signers[0] != sender {
 		return false
 	}
-	base := signBase(tag, sender, v)
-	seen := make(map[types.ProcessID]bool, len(c.Signers))
+	if !c.distinctSigners(scheme.N()) {
+		return false
+	}
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	base := signBase(w, tag, sender, v)
 	for i, id := range c.Signers {
-		if id < 0 || int(id) >= scheme.N() || seen[id] {
-			return false
-		}
-		seen[id] = true
 		if !scheme.Verify(id, base, c.Sigs[i]) {
 			return false
 		}
@@ -95,9 +95,40 @@ func (c Chain) Valid(scheme sig.Scheme, tag string, sender types.ProcessID, v ty
 	return true
 }
 
+// distinctSigners checks range and pairwise distinctness without the
+// per-relay map the validator used to allocate: honest chains are a
+// handful of links, so a quadratic scan is both faster and alloc-free.
+// Only an adversarially long chain (length bounded by n via distinctness)
+// falls back to a map.
+func (c Chain) distinctSigners(n int) bool {
+	if len(c.Signers) > 64 {
+		seen := make(map[types.ProcessID]bool, len(c.Signers))
+		for _, id := range c.Signers {
+			if id < 0 || int(id) >= n || seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return true
+	}
+	for i, id := range c.Signers {
+		if id < 0 || int(id) >= n {
+			return false
+		}
+		for j := 0; j < i; j++ {
+			if c.Signers[j] == id {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Extend returns a copy of the chain with signer's signature appended.
 func (c Chain) Extend(signer *sig.Signer, tag string, sender types.ProcessID, v types.Value) (Chain, error) {
-	s, err := signer.Sign(signBase(tag, sender, v))
+	w := wire.GetWriter()
+	s, err := signer.Sign(signBase(w, tag, sender, v))
+	wire.PutWriter(w)
 	if err != nil {
 		return Chain{}, fmt.Errorf("dolevstrong: extend chain: %w", err)
 	}
@@ -109,7 +140,9 @@ func (c Chain) Extend(signer *sig.Signer, tag string, sender types.ProcessID, v 
 
 // NewChain starts a chain with the sender's own signature.
 func NewChain(signer *sig.Signer, tag string, v types.Value) (Chain, error) {
-	s, err := signer.Sign(signBase(tag, signer.ID(), v))
+	w := wire.GetWriter()
+	s, err := signer.Sign(signBase(w, tag, signer.ID(), v))
+	wire.PutWriter(w)
 	if err != nil {
 		return Chain{}, fmt.Errorf("dolevstrong: new chain: %w", err)
 	}

@@ -68,9 +68,16 @@ type Machine struct {
 	known map[string]bool
 	fresh []types.Value // learned since the last flood
 
-	// senders[r] is the set of processes whose round-r flood arrived.
-	senders map[types.Round]*types.BitSet
-	adopted types.Value // a decision received from a peer
+	// Round-r sender sets live in a 3-slot ring of reused bitsets
+	// (cleanRound at the boundary of round r only ever consults rounds
+	// r-2 and r-1, so three slots cover writer + both readers without
+	// the per-round map and BitSet allocations the first version paid —
+	// at n = 4096 that was 512 B × rounds × n of garbage).
+	sendSets  [3]*types.BitSet
+	sendRound [3]types.Round
+	adopted   types.Value // a decision received from a peer
+
+	outs []proto.Outgoing // reusable flood buffer
 
 	decided   bool
 	announced bool
@@ -83,9 +90,11 @@ var _ proto.Machine = (*Machine)(nil)
 // NewMachine builds the machine.
 func NewMachine(cfg Config) *Machine {
 	m := &Machine{
-		cfg:     cfg,
-		known:   make(map[string]bool),
-		senders: make(map[types.Round]*types.BitSet),
+		cfg:   cfg,
+		known: make(map[string]bool),
+	}
+	for i := range m.sendRound {
+		m.sendRound[i] = -1
 	}
 	m.learn(cfg.Input)
 	return m
@@ -114,7 +123,31 @@ func (m *Machine) Begin(now types.Tick) []proto.Outgoing {
 func (m *Machine) flood(decision types.Value) []proto.Outgoing {
 	payload := Flood{Values: m.fresh, Decision: decision}
 	m.fresh = nil
-	return proto.Broadcast(m.cfg.Params, "", payload)
+	m.outs = proto.AppendBroadcast(m.outs[:0], m.cfg.Params, "", payload)
+	return m.outs
+}
+
+// sendersMark returns the (reset-on-reuse) sender set for round r.
+func (m *Machine) sendersMark(r types.Round) *types.BitSet {
+	i := (int(r%3) + 3) % 3
+	if m.sendSets[i] == nil {
+		m.sendSets[i] = types.NewBitSet(m.cfg.Params.N)
+	} else if m.sendRound[i] != r {
+		m.sendSets[i].Reset()
+	}
+	m.sendRound[i] = r
+	return m.sendSets[i]
+}
+
+// sendersAt returns round r's sender set, or nil if none arrived (or its
+// slot was already recycled — only possible for rounds cleanRound no
+// longer consults).
+func (m *Machine) sendersAt(r types.Round) *types.BitSet {
+	i := (int(r%3) + 3) % 3
+	if m.sendSets[i] == nil || m.sendRound[i] != r {
+		return nil
+	}
+	return m.sendSets[i]
 }
 
 // Tick implements proto.Machine.
@@ -132,10 +165,7 @@ func (m *Machine) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing 
 		if boundary {
 			prev = r - 1
 		}
-		if m.senders[prev] == nil {
-			m.senders[prev] = types.NewBitSet(m.cfg.Params.N)
-		}
-		m.senders[prev].Add(in.From)
+		m.sendersMark(prev).Add(in.From)
 		for _, v := range f.Values {
 			m.learn(v)
 		}
@@ -173,21 +203,17 @@ func (m *Machine) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing 
 }
 
 // cleanRound reports whether round r brought no NEW failures: everyone
-// who sent in round r-1 also sent in round r.
+// who sent in round r-1 also sent in round r (checked word-wise, no
+// member materialization).
 func (m *Machine) cleanRound(r types.Round) bool {
-	prev, cur := m.senders[r-1], m.senders[r]
+	prev, cur := m.sendersAt(r-1), m.sendersAt(r)
 	if prev == nil {
 		return false
 	}
 	if cur == nil {
 		return prev.Count() == 0
 	}
-	for _, id := range prev.Members() {
-		if !cur.Has(id) {
-			return false
-		}
-	}
-	return true
+	return cur.ContainsAll(prev)
 }
 
 // minKnown picks the canonical minimum of the converged set.

@@ -1,0 +1,130 @@
+package threshold
+
+import (
+	"errors"
+	"testing"
+
+	"adaptiveba/internal/crypto/sig"
+	"adaptiveba/internal/types"
+)
+
+// TestLargeNQuorumArithmetic checks the paper's threshold identities at
+// scale-regime sizes (including even n, where n > 2t+1): any two Quorum
+// sets intersect in at least t+1 processes (so at least one correct one),
+// a SmallQuorum always contains a correct process, and the fallback
+// threshold stays below what f can reach.
+func TestLargeNQuorumArithmetic(t *testing.T) {
+	for _, n := range []int{257, 258, 1024, 1025, 4096} {
+		params, err := types.NewParams(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, sq, fb := params.Quorum(), params.SmallQuorum(), params.FallbackThreshold()
+		// Two quorums of size q out of n overlap in >= 2q-n processes;
+		// quorum intersection demands that beats t.
+		if overlap := 2*q - n; overlap < params.T+1 {
+			t.Errorf("n=%d: quorum overlap %d < t+1 = %d", n, overlap, params.T+1)
+		}
+		if sq != params.T+1 {
+			t.Errorf("n=%d: SmallQuorum = %d, want t+1 = %d", n, sq, params.T+1)
+		}
+		if q > n {
+			t.Errorf("n=%d: quorum %d unreachable (> n)", n, q)
+		}
+		if fb < 0 || fb > params.T {
+			t.Errorf("n=%d: fallback threshold %d outside [0, t=%d]", n, fb, params.T)
+		}
+	}
+}
+
+// TestLargeNCertificateThresholds builds real certificates at n = 257 and
+// n = 1024 with the actual protocol thresholds (Quorum and SmallQuorum as
+// K), in both encodings, and checks the properties the protocol layers
+// rely on: a K-signer certificate combines and verifies, K-1 signers are
+// rejected, two disjointly-chosen quorum certificates share at least t+1
+// signers, and a signer-set tampered certificate fails verification.
+func TestLargeNCertificateThresholds(t *testing.T) {
+	for _, n := range []int{257, 1024} {
+		params, err := types.NewParams(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := sig.NewHMACRing(n, []byte("large-n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte("large-n quorum message")
+		for _, mode := range modes() {
+			for _, k := range []int{params.Quorum(), params.SmallQuorum()} {
+				s, err := New(base, k, mode, []byte("dealer"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Low-end signers [0, k) and high-end signers [n-k, n).
+				lo := make([]Share, 0, k)
+				hi := make([]Share, 0, k)
+				for i := 0; i < k; i++ {
+					shLo, err := s.SignShare(types.ProcessID(i), msg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					shHi, err := s.SignShare(types.ProcessID(n-k+i), msg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					lo = append(lo, shLo)
+					hi = append(hi, shHi)
+				}
+				certLo, err := s.Combine(msg, lo)
+				if err != nil {
+					t.Fatalf("n=%d %v k=%d: %v", n, mode, k, err)
+				}
+				certHi, err := s.Combine(msg, hi)
+				if err != nil {
+					t.Fatalf("n=%d %v k=%d: %v", n, mode, k, err)
+				}
+				for _, cert := range []*Cert{certLo, certHi} {
+					if !s.Verify(msg, cert) {
+						t.Fatalf("n=%d %v k=%d: valid certificate rejected", n, mode, k)
+					}
+					if cert.Words() != 1 {
+						t.Errorf("n=%d: certificate words = %d, want 1", n, cert.Words())
+					}
+				}
+				if _, err := s.Combine(msg, lo[:k-1]); !errors.Is(err, ErrTooFewShares) {
+					t.Errorf("n=%d %v k=%d: k-1 shares combined, err = %v", n, mode, k, err)
+				}
+				if k == params.Quorum() {
+					// Quorum intersection with real signer sets: count the
+					// overlap of the two certificates' BitSets.
+					overlap := 0
+					for id, ok := certLo.Signers.NextSet(0); ok; id, ok = certLo.Signers.NextSet(int(id) + 1) {
+						if certHi.Signers.Has(id) {
+							overlap++
+						}
+					}
+					if overlap < params.T+1 {
+						t.Errorf("n=%d %v: quorum certs overlap in %d signers, want >= t+1 = %d",
+							n, mode, overlap, params.T+1)
+					}
+				}
+				// Tampering with the signer set must invalidate the
+				// certificate: the tag/shares no longer match the set.
+				forged := certLo.Clone()
+				var outsider types.ProcessID = -1
+				for i := 0; i < n; i++ {
+					if !forged.Signers.Has(types.ProcessID(i)) {
+						outsider = types.ProcessID(i)
+						break
+					}
+				}
+				if outsider >= 0 {
+					forged.Signers.Add(outsider)
+					if s.Verify(msg, forged) {
+						t.Errorf("n=%d %v k=%d: signer-set-tampered certificate verified", n, mode, k)
+					}
+				}
+			}
+		}
+	}
+}

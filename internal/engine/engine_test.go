@@ -178,10 +178,10 @@ func TestEngineConfigErrors(t *testing.T) {
 // reaches steady state immediately.
 type idleMachine struct{}
 
-func (idleMachine) Begin(types.Tick) []proto.Outgoing            { return nil }
+func (idleMachine) Begin(types.Tick) []proto.Outgoing                  { return nil }
 func (idleMachine) Tick(types.Tick, []proto.Incoming) []proto.Outgoing { return nil }
-func (idleMachine) Output() (types.Value, bool)                  { return nil, false }
-func (idleMachine) Done() bool                                   { return false }
+func (idleMachine) Output() (types.Value, bool)                        { return nil, false }
+func (idleMachine) Done() bool                                         { return false }
 
 // TestEngineSteadyStateAllocs guards the per-session steady-state path:
 // once its sessions are admitted, a process's per-tick scheduling work —

@@ -47,8 +47,13 @@ type Config struct {
 }
 
 // Machine implements strong BA via n parallel Dolev–Strong instances.
+// The instances live under a proto.Mux, which demultiplexes the shared
+// inbox in one O(inbox) pass; routing each instance separately with
+// Sub.Route would rescan the inbox n times per tick — the dominant cost
+// of the quadratic fallback regime at large n.
 type Machine struct {
 	cfg       Config
+	mux       *proto.Mux
 	instances []*proto.Sub
 	decided   bool
 	decision  types.Value
@@ -77,6 +82,7 @@ func instanceName(sender types.ProcessID) string {
 // Begin implements proto.Machine: all n broadcast instances start
 // simultaneously; this process is the designated sender of its own.
 func (m *Machine) Begin(now types.Tick) []proto.Outgoing {
+	m.mux = proto.NewMux()
 	m.instances = make([]*proto.Sub, m.cfg.Params.N)
 	var outs []proto.Outgoing
 	for i := 0; i < m.cfg.Params.N; i++ {
@@ -90,26 +96,19 @@ func (m *Machine) Begin(now types.Tick) []proto.Outgoing {
 			Tag:      m.cfg.Tag + "/" + instanceName(sender),
 			RoundDur: m.cfg.RoundDur,
 		})
-		m.instances[i] = proto.NewSub(instanceName(sender), inst)
+		m.instances[i] = m.mux.Add(instanceName(sender), inst)
 		outs = append(outs, m.instances[i].Begin(now)...)
 	}
 	return outs
 }
 
-// Tick implements proto.Machine.
+// Tick implements proto.Machine. The Mux preserves exactly the serial
+// per-instance routing order (instances stepped in sender order, each
+// seeing its messages in inbox order), so the refactor is invisible to
+// the observable schedule.
 func (m *Machine) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing {
-	var outs []proto.Outgoing
-	rest := inbox
-	allDone := true
-	for _, inst := range m.instances {
-		var mine []proto.Incoming
-		mine, rest = inst.Route(rest)
-		outs = append(outs, inst.Tick(now, mine)...)
-		if !inst.Done() {
-			allDone = false
-		}
-	}
-	if !m.decided && allDone {
+	outs := m.mux.Tick(now, inbox)
+	if !m.decided && m.mux.Done() {
 		m.decide()
 	}
 	return outs

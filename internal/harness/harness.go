@@ -16,6 +16,7 @@ import (
 
 	"adaptiveba/internal/adversary"
 	"adaptiveba/internal/adversary/attacks"
+	"adaptiveba/internal/baseline/committee"
 	"adaptiveba/internal/baseline/dolevstrong"
 	"adaptiveba/internal/baseline/echobb"
 	"adaptiveba/internal/baseline/floodset"
@@ -60,6 +61,10 @@ const (
 	// the Section 4 related-work discussion: adaptive rounds, quadratic
 	// words — the mirror image of the paper's protocols.
 	ProtocolFloodSet Protocol = "floodset"
+	// ProtocolCommittee is the King–Saia-style Õ(√n)-words-per-process
+	// committee-sampling baseline (CRASH faults): the large-n rival the
+	// scale benchmark compares the adaptive protocol against.
+	ProtocolCommittee Protocol = "committee"
 )
 
 // Fault selects the failure pattern applied to the run.
@@ -284,6 +289,7 @@ type runner struct {
 	sbaMachines map[types.ProcessID]*strongba.Machine
 	bbMachines  map[types.ProcessID]*bb.Machine
 	fsMachines  map[types.ProcessID]*floodset.Machine
+	cmMachines  map[types.ProcessID]*committee.Machine
 }
 
 // crashSet derives the crashed process IDs from the fault pattern.
@@ -433,6 +439,20 @@ func (r *runner) execute() (*Outcome, error) {
 				Params: r.params, ID: id, Input: r.inputFor(id, false),
 			})
 			r.fsMachines[id] = m
+			return m
+		}
+	case ProtocolCommittee:
+		maxTicks = types.Tick(2 * (committee.Size(r.spec.N) + 8))
+		r.cmMachines = make(map[types.ProcessID]*committee.Machine)
+		factory = func(id types.ProcessID) proto.Machine {
+			m := committee.NewMachine(committee.Config{
+				Params: r.params, ID: id, Input: r.inputFor(id, false),
+				// The sampling seed is public common randomness; every
+				// process must derive the same committee, so it comes
+				// from the spec, not the process.
+				Seed: uint64(r.spec.Seed) + 0x636d7465, // "cmte"
+			})
+			r.cmMachines[id] = m
 			return m
 		}
 	case ProtocolFallback:
@@ -630,6 +650,10 @@ func (r *runner) decisionTick(res *sim.Result) types.Tick {
 			}
 		case r.fsMachines != nil:
 			if m := r.fsMachines[id]; m != nil {
+				note(types.Tick(m.Rounds()))
+			}
+		case r.cmMachines != nil:
+			if m := r.cmMachines[id]; m != nil {
 				note(types.Tick(m.Rounds()))
 			}
 		}

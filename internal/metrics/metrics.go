@@ -58,6 +58,11 @@ type Recorder struct {
 	byzantine Stats
 	byLayer   map[string]*Stats
 	byProc    map[types.ProcessID]*Stats
+	// procs, when non-nil, replaces byProc for IDs in [0, len(procs)):
+	// a dense flat array the scale engine preallocates so the per-process
+	// breakdown costs an index instead of a map insert at n=4096.
+	// Out-of-range IDs still fall back to the map.
+	procs []Stats
 
 	// Last-used memo for the send path: consecutive sends overwhelmingly
 	// share a layer (broadcasts) and often a sender, so remembering the
@@ -112,16 +117,45 @@ func NewRecorder() *Recorder {
 	}
 }
 
+// DenseProcs preallocates per-process counters for IDs in [0, n) as one
+// flat array, so the send path's per-process accounting is an index
+// instead of a map lookup. Call it once before recording; counters that
+// already live in the map keep accumulating there and both views are
+// merged at Snapshot.
+func (r *Recorder) DenseProcs(n int) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.procs) < n {
+		procs := make([]Stats, n)
+		copy(procs, r.procs)
+		r.procs = procs
+	}
+}
+
 // RecordSend ingests one message-send event.
-func (r *Recorder) RecordSend(ev SendEvent) {
+func (r *Recorder) RecordSend(ev SendEvent) { r.RecordSendN(ev, 1) }
+
+// RecordSendN ingests count identical-cost message sends in one call.
+// All count messages share ev's sender, layer, and per-message cost
+// (words, bytes, signatures); only the recipients differ, which the
+// recorder does not track. The simulator uses this to charge an n-way
+// broadcast with one mutex acquisition instead of n.
+func (r *Recorder) RecordSendN(ev SendEvent, count int) {
+	if count <= 0 {
+		return
+	}
 	if ev.Words < 1 {
 		ev.Words = 1 // every message carries at least one word
 	}
+	c := int64(count)
 	s := Stats{
-		Messages:   1,
-		Words:      int64(ev.Words),
-		Bytes:      int64(ev.Bytes),
-		Signatures: int64(ev.Sigs),
+		Messages:   c,
+		Words:      int64(ev.Words) * c,
+		Bytes:      int64(ev.Bytes) * c,
+		Signatures: int64(ev.Sigs) * c,
 	}
 
 	r.mu.Lock()
@@ -145,6 +179,10 @@ func (r *Recorder) RecordSend(ev SendEvent) {
 		r.lastLayer, r.lastLayerStats = layer, ls
 	}
 	ls.add(s)
+	if i := int(ev.From); i >= 0 && i < len(r.procs) {
+		r.procs[i].add(s)
+		return
+	}
 	ps := r.lastProcStats
 	if ps == nil || r.lastProc != ev.From {
 		var ok bool
@@ -264,6 +302,13 @@ func (r *Recorder) Snapshot() Report {
 	}
 	for k, v := range r.byProc {
 		rep.ByProcess[k] = *v
+	}
+	for i := range r.procs {
+		if r.procs[i] != (Stats{}) {
+			s := rep.ByProcess[types.ProcessID(i)]
+			s.add(r.procs[i])
+			rep.ByProcess[types.ProcessID(i)] = s
+		}
 	}
 	return rep
 }

@@ -159,7 +159,7 @@ func TestMuxSteadyStateAllocs(t *testing.T) {
 // quietMachine consumes everything and sends nothing.
 type quietMachine struct{}
 
-func (quietMachine) Begin(types.Tick) []Outgoing                 { return nil }
-func (quietMachine) Tick(types.Tick, []Incoming) []Outgoing      { return nil }
-func (quietMachine) Output() (types.Value, bool)                 { return nil, false }
-func (quietMachine) Done() bool                                  { return false }
+func (quietMachine) Begin(types.Tick) []Outgoing            { return nil }
+func (quietMachine) Tick(types.Tick, []Incoming) []Outgoing { return nil }
+func (quietMachine) Output() (types.Value, bool)            { return nil, false }
+func (quietMachine) Done() bool                             { return false }

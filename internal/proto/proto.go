@@ -85,6 +85,20 @@ func Broadcast(params types.Params, session string, p Payload) []Outgoing {
 	return outs
 }
 
+// AppendBroadcast appends one message per process to outs and returns
+// the extended slice. Machines on per-round broadcast cadences use it to
+// recycle their output buffer across ticks — the runtime consumes the
+// returned slice before the machine is stepped again, so reuse is within
+// the Machine.Tick retention contract. At n = 4096 the per-tick
+// Broadcast allocation is the difference between O(1) and O(n) words of
+// garbage per machine per round.
+func AppendBroadcast(outs []Outgoing, params types.Params, session string, p Payload) []Outgoing {
+	for i := 0; i < params.N; i++ {
+		outs = append(outs, Outgoing{To: types.ProcessID(i), Session: session, Payload: p})
+	}
+	return outs
+}
+
 // Unicast is a convenience constructor for a single send.
 func Unicast(to types.ProcessID, session string, p Payload) []Outgoing {
 	return []Outgoing{{To: to, Session: session, Payload: p}}

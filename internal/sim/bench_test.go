@@ -148,6 +148,82 @@ func TestSimTickAllocCeiling(t *testing.T) {
 	}
 }
 
+// TestSimTickAllocCeilingLargeN pins the dense-state engine at scale: at
+// n = 1024 the steady-state tick loop must stay within 4x the n = 41
+// ceiling (ISSUE acceptance). Before the arena/BitSet rewrite the
+// engine's per-tick cost included O(n) map and slice churn, so this bound
+// was unreachable at this n. Machines unicast to 8 ring neighbors — the
+// per-tick pending count (8n = 8192) still crosses the sharded-delivery
+// gate while keeping the test fast on one core.
+func TestSimTickAllocCeilingLargeN(t *testing.T) {
+	const n = 1024
+	params, err := types.NewParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := sig.NewHMACRing(n, []byte("bench"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crypto := proto.NewCrypto(params, ring, threshold.ModeCompact, []byte("d"))
+	measure := func(horizon types.Tick) float64 {
+		return testing.AllocsPerRun(5, func() {
+			res, err := Run(Config{
+				Params: params,
+				Crypto: crypto,
+				Factory: func(id types.ProcessID) proto.Machine {
+					return newRingChatter(params, id, 8, horizon)
+				},
+				MaxTicks:    128,
+				ShuffleSeed: 7,
+				Workers:     1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TimedOut {
+				t.Fatal("timed out")
+			}
+		})
+	}
+	short, long := measure(5), measure(45)
+	perTick := (long - short) / 40
+	if perTick >= 8 {
+		t.Errorf("n=%d steady-state tick loop allocates %.2f per tick (short=%.0f long=%.0f), want < 8 (4x the n=41 ceiling)",
+			n, perTick, short, long)
+	}
+}
+
+// ringChatter unicasts one precomputed payload to each of its k ring
+// successors every tick, so the machine itself allocates only at
+// construction — any steady-state allocation belongs to the engine.
+type ringChatter struct {
+	outs    []proto.Outgoing
+	horizon types.Tick
+	now     types.Tick
+}
+
+func newRingChatter(params types.Params, id types.ProcessID, k int, horizon types.Tick) *ringChatter {
+	outs := make([]proto.Outgoing, k)
+	for i := range outs {
+		outs[i] = proto.Outgoing{To: types.ProcessID((int(id) + 1 + i) % params.N), Payload: ping{}}
+	}
+	return &ringChatter{outs: outs, horizon: horizon}
+}
+
+func (c *ringChatter) Begin(now types.Tick) []proto.Outgoing { return c.outs }
+
+func (c *ringChatter) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing {
+	c.now = now
+	if now >= c.horizon {
+		return nil
+	}
+	return c.outs
+}
+
+func (c *ringChatter) Output() (types.Value, bool) { return nil, c.now >= c.horizon }
+func (c *ringChatter) Done() bool                  { return c.now >= c.horizon }
+
 // quietChatter broadcasts the same precomputed sends every tick, so the
 // machine itself allocates only at construction.
 type quietChatter struct {

@@ -127,6 +127,14 @@ func goldenCases() []goldenCase {
 			adversary: func() Adversary { return &rushingRelay{silentAdversary: silentAdversary{ids: []types.ProcessID{5, 6}}} }},
 		{name: "adversary-shuffle-seed7", n: 7, shuffleSeed: 7,
 			adversary: func() Adversary { return &rushingRelay{silentAdversary: silentAdversary{ids: []types.ProcessID{5, 6}}} }},
+		// scale-n64 pins the sharded delivery/merge path: at n=64 the
+		// engine exercises multi-chunk inbox partitioning, and the trace
+		// (recorded from the pre-shard serial engine) must stay
+		// byte-identical at every worker count.
+		{name: "scale-n64-shuffle-seed11", n: 64, shuffleSeed: 11,
+			adversary: func() Adversary {
+				return &rushingRelay{silentAdversary: silentAdversary{ids: []types.ProcessID{60, 62}}}
+			}},
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -211,6 +212,7 @@ func Run(cfg Config) (*Result, error) {
 
 	n := cfg.Params.N
 	corruptAt := make(map[types.ProcessID]types.Tick)
+	var schedule []Corruption
 	if cfg.Adversary != nil {
 		cfg.Adversary.Init(Env{Params: cfg.Params, Crypto: cfg.Crypto})
 		for _, c := range cfg.Adversary.Corruptions() {
@@ -224,10 +226,20 @@ func Run(cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("%w: negative tick for %v", ErrCorruption, c.ID)
 			}
 			corruptAt[c.ID] = c.At
+			schedule = append(schedule, c)
 		}
 		if len(corruptAt) > cfg.Params.T {
 			return nil, fmt.Errorf("%w: %d corruptions exceed t=%d", ErrCorruption, len(corruptAt), cfg.Params.T)
 		}
+		// The tick loop consumes the schedule as a sorted stream with a
+		// cursor, so applying corruptions is O(1) per tick instead of a
+		// map walk — the walk was measurable at f ≈ t ≈ n/2, n = 4096.
+		sort.Slice(schedule, func(a, b int) bool {
+			if schedule[a].At != schedule[b].At {
+				return schedule[a].At < schedule[b].At
+			}
+			return schedule[a].ID < schedule[b].ID
+		})
 	}
 
 	workers := cfg.Workers
@@ -243,9 +255,10 @@ func Run(cfg Config) (*Result, error) {
 		rec:       rec,
 		machines:  make([]proto.Machine, n),
 		corrupted: make([]bool, n),
-		corruptAt: corruptAt,
+		schedule:  schedule,
 		workers:   workers,
-		inboxes:   make([][]proto.Incoming, n),
+		inboxOff:  make([]int32, n+1),
+		counts:    make([]int32, n),
 		outs:      make([][]proto.Outgoing, n),
 		shufflers: make([]*shuffler, workers),
 	}
@@ -260,6 +273,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		e.machines[i] = cfg.Factory(id)
 	}
+	rec.DenseProcs(n)
 
 	return e.run(maxTicks)
 }
@@ -269,21 +283,49 @@ type engine struct {
 	rec       *metrics.Recorder
 	machines  []proto.Machine
 	corrupted []bool
-	corruptAt map[types.ProcessID]types.Tick
 	workers   int
+
+	// schedule is the corruption schedule sorted by (At, ID); nextCorrupt
+	// is the cursor of the first entry not yet applied. Together they make
+	// applyCorruptions O(1) amortized instead of a per-tick map walk.
+	schedule    []Corruption
+	nextCorrupt int
 
 	// pending holds the in-flight traffic due at the current tick. Every
 	// message is delivered exactly one tick after it is sent, so a single
-	// buffer suffices: it is drained into the inbox buckets at tick start
+	// buffer suffices: it is drained into the inbox arena at tick start
 	// and its backing array is immediately recycled for the tick's new
 	// sends.
 	pending []Message
 
+	// Dense delivery state. Instead of n per-recipient append buckets
+	// (n grow-able slices, n headers touched every tick), the tick's
+	// in-flight messages are scattered into one flat arena grouped by
+	// recipient: machine i's inbox is arena[inboxOff[i]:inboxOff[i+1]].
+	// The scatter is a counting sort on the recipient — stable, so each
+	// inbox preserves exactly the per-recipient arrival order the
+	// append-bucket engine produced — and it shards across workers when
+	// the tick is heavy (see deliver).
+	arena    []proto.Incoming
+	inboxOff []int32 // n+1 prefix offsets into arena
+	counts   []int32 // per-recipient counts, doubling as scatter cursors
+	// chunkCounts[w][r] is worker w's count of chunk-local messages for
+	// recipient r during sharded delivery, then w's scatter cursor for r
+	// after the merge. Allocated on first sharded tick.
+	chunkCounts [][]int32
+
 	// Per-tick scratch, sized once from n and reused for the whole run so
 	// the steady-state tick loop allocates nothing.
-	inboxes   [][]proto.Incoming // delivery buckets, reset to [:0] each tick
 	outs      [][]proto.Outgoing // per-machine step outputs, joined in ID order
 	shufflers []*shuffler        // one reusable shuffle source per worker
+}
+
+// inbox returns machine i's delivery view for the current tick. The
+// capacity is pinned to the slice length so a misbehaving machine cannot
+// append into its neighbor's region of the shared arena.
+func (e *engine) inbox(i int) []proto.Incoming {
+	lo, hi := e.inboxOff[i], e.inboxOff[i+1]
+	return e.arena[lo:hi:hi]
 }
 
 func (e *engine) run(maxTicks types.Tick) (*Result, error) {
@@ -297,17 +339,8 @@ func (e *engine) run(maxTicks types.Tick) (*Result, error) {
 		}
 		e.applyCorruptions(now)
 
-		// Deliver: bucket the in-flight traffic into the reused inboxes.
-		for i := range e.inboxes {
-			e.inboxes[i] = e.inboxes[i][:0]
-		}
-		for _, m := range e.pending {
-			e.inboxes[m.To] = append(e.inboxes[m.To], proto.Incoming{
-				From:    m.From,
-				Session: m.Session,
-				Payload: m.Payload,
-			})
-		}
+		// Deliver: scatter the in-flight traffic into the inbox arena.
+		e.deliver()
 
 		// Step: shuffle inboxes and run the honest machines, fanned out
 		// across the worker pool; outputs land per-machine in e.outs.
@@ -339,8 +372,10 @@ func (e *engine) run(maxTicks types.Tick) (*Result, error) {
 		var advTraffic []Message
 		if e.cfg.Adversary != nil {
 			for i := 0; i < n; i++ {
-				if e.corrupted[i] && len(e.inboxes[i]) > 0 {
-					e.cfg.Adversary.Observe(now, types.ProcessID(i), e.inboxes[i])
+				if e.corrupted[i] {
+					if box := e.inbox(i); len(box) > 0 {
+						e.cfg.Adversary.Observe(now, types.ProcessID(i), box)
+					}
 				}
 			}
 			advTraffic = e.cfg.Adversary.Act(now, honestTraffic)
@@ -437,8 +472,9 @@ func (e *engine) step(now types.Tick) {
 // shuffle covers corrupted inboxes too: the adversary observes them in
 // permuted order, exactly as the serial engine delivered them.
 func (e *engine) stepOne(now types.Tick, i int, sh *shuffler) {
+	box := e.inbox(i)
 	if e.cfg.ShuffleSeed != 0 {
-		sh.shuffle(e.cfg.ShuffleSeed, now, types.ProcessID(i), e.inboxes[i])
+		sh.shuffle(e.cfg.ShuffleSeed, now, types.ProcessID(i), box)
 	}
 	if e.corrupted[i] {
 		return
@@ -446,7 +482,7 @@ func (e *engine) stepOne(now types.Tick, i int, sh *shuffler) {
 	if now == 0 {
 		e.outs[i] = e.machines[i].Begin(0)
 	} else {
-		e.outs[i] = e.machines[i].Tick(now, e.inboxes[i])
+		e.outs[i] = e.machines[i].Tick(now, box)
 	}
 }
 
@@ -474,13 +510,152 @@ func (s *shuffler) shuffle(seed int64, now types.Tick, id types.ProcessID, inbox
 	})
 }
 
-// applyCorruptions hands processes scheduled for tick now to the adversary.
+// applyCorruptions hands processes scheduled for tick now to the
+// adversary. The schedule is sorted by tick and consumed with a cursor,
+// so this is O(newly corrupted) per tick.
 func (e *engine) applyCorruptions(now types.Tick) {
-	for id, at := range e.corruptAt {
-		if at == now && !e.corrupted[id] {
-			e.corrupted[id] = true
-			e.machines[id] = nil
+	for e.nextCorrupt < len(e.schedule) && e.schedule[e.nextCorrupt].At <= now {
+		id := e.schedule[e.nextCorrupt].ID
+		e.corrupted[id] = true
+		e.machines[id] = nil
+		e.nextCorrupt++
+	}
+}
+
+// parallelDeliveryMin is the in-flight message count below which sharded
+// delivery is not worth the O(workers·n) merge; light ticks take the
+// serial counting sort. Both paths produce an identical arena layout, so
+// the crossover is invisible to the observable schedule.
+const parallelDeliveryMin = 4096
+
+// deliver scatters e.pending into the inbox arena, grouped by recipient
+// with per-recipient arrival order preserved (a stable counting sort on
+// To). Heavy ticks shard the sort: the pending buffer is cut into one
+// contiguous chunk per worker (chunk order = position order), each worker
+// counts its chunk's per-recipient messages, a serial merge turns the
+// (recipient-major, chunk-minor) counts into scatter cursors, and the
+// workers then place their chunks independently. Because every message's
+// final slot is (recipient base) + (messages for that recipient in
+// earlier chunks) + (chunk-local rank), the sharded layout is byte-for-
+// byte the serial one at any worker count.
+func (e *engine) deliver() {
+	n := len(e.counts)
+	p := len(e.pending)
+	if p == 0 {
+		for i := range e.inboxOff {
+			e.inboxOff[i] = 0
 		}
+		return
+	}
+	if cap(e.arena) < p {
+		e.arena = make([]proto.Incoming, p)
+	}
+	e.arena = e.arena[:p]
+
+	w := e.workers
+	if w > 1 && p >= parallelDeliveryMin {
+		e.deliverSharded(w)
+		return
+	}
+
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	for i := range e.pending {
+		e.counts[e.pending[i].To]++
+	}
+	var off int32
+	for i := 0; i < n; i++ {
+		e.inboxOff[i] = off
+		c := e.counts[i]
+		e.counts[i] = off // becomes the scatter cursor
+		off += c
+	}
+	e.inboxOff[n] = off
+	for i := range e.pending {
+		m := &e.pending[i]
+		pos := e.counts[m.To]
+		e.counts[m.To] = pos + 1
+		e.arena[pos] = proto.Incoming{From: m.From, Session: m.Session, Payload: m.Payload}
+	}
+}
+
+// deliverSharded is deliver's heavy-tick path: count and scatter fan out
+// across w workers over contiguous pending chunks.
+func (e *engine) deliverSharded(w int) {
+	n := len(e.counts)
+	p := len(e.pending)
+	if len(e.chunkCounts) < w {
+		cc := make([][]int32, w)
+		copy(cc, e.chunkCounts)
+		for i := len(e.chunkCounts); i < w; i++ {
+			cc[i] = make([]int32, n)
+		}
+		e.chunkCounts = cc
+	}
+	chunk := func(k int) (int, int) {
+		return k * p / w, (k + 1) * p / w
+	}
+
+	fanOut(w, func(k int) {
+		counts := e.chunkCounts[k]
+		for i := range counts {
+			counts[i] = 0
+		}
+		lo, hi := chunk(k)
+		for i := lo; i < hi; i++ {
+			counts[e.pending[i].To]++
+		}
+	})
+
+	// Merge: recipient-major, chunk-minor prefix sum. chunkCounts[k][r]
+	// becomes worker k's scatter cursor for recipient r.
+	var off int32
+	for r := 0; r < n; r++ {
+		e.inboxOff[r] = off
+		for k := 0; k < w; k++ {
+			c := e.chunkCounts[k][r]
+			e.chunkCounts[k][r] = off
+			off += c
+		}
+	}
+	e.inboxOff[n] = off
+
+	fanOut(w, func(k int) {
+		cursors := e.chunkCounts[k]
+		lo, hi := chunk(k)
+		for i := lo; i < hi; i++ {
+			m := &e.pending[i]
+			pos := cursors[m.To]
+			cursors[m.To] = pos + 1
+			e.arena[pos] = proto.Incoming{From: m.From, Session: m.Session, Payload: m.Payload}
+		}
+	})
+}
+
+// fanOut runs fn(0..w-1) on w goroutines and waits; panics are re-raised
+// on the caller's goroutine.
+func fanOut(w int, fn func(k int)) {
+	var (
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			fn(k)
+		}(k)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
 	}
 }
 
@@ -501,7 +676,15 @@ func keyOf(p proto.Payload) payloadKey {
 // cost (words, signatures, encoded size) is memoized per boxed payload
 // instance: a broadcast fans one payload out to n recipients, and its
 // cost — in particular the SizeOf encoding walk — is computed once.
+// When no per-message observer (Trace, OnSend) is attached, consecutive
+// messages sharing one payload instance, sender, and session collapse
+// into a single RecordSendN call, so an n-way broadcast costs one
+// recorder round-trip instead of n.
 func (e *engine) record(msgs []Message, honest bool, now types.Tick) {
+	if e.cfg.Trace == nil && e.cfg.OnSend == nil {
+		e.recordBatched(msgs, honest)
+		return
+	}
 	var (
 		last       payloadKey
 		haveMemo   bool
@@ -548,6 +731,52 @@ func (e *engine) record(msgs []Message, honest bool, now types.Tick) {
 	}
 }
 
+// recordBatched is record's no-observer fast path: runs of messages with
+// one payload instance, sender, and session — the shape proto.Broadcast
+// produces — are charged with a single batched recorder call. The charge
+// is identical to per-message recording because the recorder never
+// distinguishes recipients.
+func (e *engine) recordBatched(msgs []Message, honest bool) {
+	i := 0
+	for i < len(msgs) {
+		m := &msgs[i]
+		if m.From == m.To {
+			i++
+			continue
+		}
+		words, sigs, size := 1, 0, 0
+		j := i + 1
+		if m.Payload != nil {
+			words = m.Payload.Words()
+			if sc, ok := m.Payload.(proto.SigCarrier); ok {
+				sigs = sc.SigCount()
+			}
+			if e.cfg.SizeOf != nil {
+				size = e.cfg.SizeOf(m.Payload)
+			}
+			k := keyOf(m.Payload)
+			for j < len(msgs) {
+				nm := &msgs[j]
+				if nm.From != m.From || nm.From == nm.To || nm.Session != m.Session ||
+					nm.Payload == nil || keyOf(nm.Payload) != k {
+					break
+				}
+				j++
+			}
+		}
+		e.rec.RecordSendN(metrics.SendEvent{
+			From:   m.From,
+			To:     m.To,
+			Words:  words,
+			Sigs:   sigs,
+			Bytes:  size,
+			Layer:  layerOf(m.Session),
+			Honest: honest,
+		}, j-i)
+		i = j
+	}
+}
+
 // layerOf maps a session path to its metrics layer (the full path).
 func layerOf(session string) string {
 	if session == "" {
@@ -561,10 +790,8 @@ func (e *engine) quiesced(now types.Tick) bool {
 	if len(e.pending) > 0 {
 		return false
 	}
-	for id, at := range e.corruptAt {
-		if at > now && !e.corrupted[id] {
-			return false // a future corruption is pending
-		}
+	if e.nextCorrupt < len(e.schedule) {
+		return false // a future corruption is pending
 	}
 	for i := range e.machines {
 		if e.corrupted[i] {

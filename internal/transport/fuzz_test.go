@@ -18,7 +18,7 @@ func FuzzReadFrame(f *testing.F) {
 	valid = append(valid, frameMsg, 'h', 'e', 'l', 'l', 'o')
 	f.Add(valid)
 	f.Add([]byte{})
-	f.Add([]byte{0, 0, 0, 0})                      // zero length
+	f.Add([]byte{0, 0, 0, 0})                       // zero length
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, frameMsg}) // oversize
 	hostile := make([]byte, 4)
 	binary.BigEndian.PutUint32(hostile, maxFrame)

@@ -73,6 +73,21 @@ func (b *BitSet) Has(id ProcessID) bool {
 	return b.words[id/64]&(1<<(uint(id)%64)) != 0
 }
 
+// Remove deletes id from the set. Out-of-range IDs are ignored.
+func (b *BitSet) Remove(id ProcessID) {
+	if id < 0 || int(id) >= b.n {
+		return
+	}
+	b.words[id/64] &^= 1 << (uint(id) % 64)
+}
+
+// Reset empties the set in place, keeping its capacity.
+func (b *BitSet) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
 // Count returns the number of members.
 func (b *BitSet) Count() int {
 	c := 0
@@ -82,13 +97,103 @@ func (b *BitSet) Count() int {
 	return c
 }
 
+// Union merges o's members into b in place. Members of o beyond b's
+// capacity are ignored (b stays canonical: no bits at or above Cap).
+func (b *BitSet) Union(o *BitSet) {
+	if o == nil {
+		return
+	}
+	m := len(b.words)
+	if len(o.words) < m {
+		m = len(o.words)
+	}
+	for i := 0; i < m; i++ {
+		b.words[i] |= o.words[i]
+	}
+	// o may have capacity beyond b.n but canonical sets carry no stray
+	// bits; when o.n > b.n the shared last word can still hold o-members
+	// >= b.n, so mask b's last word back to its own capacity.
+	if rem := b.n % 64; rem != 0 && m == len(b.words) && m > 0 {
+		b.words[m-1] &= uint64(1)<<rem - 1
+	}
+}
+
+// ContainsAll reports whether every member of o is also in b (o ⊆ b).
+func (b *BitSet) ContainsAll(o *BitSet) bool {
+	if o == nil {
+		return true
+	}
+	for i, w := range o.words {
+		if i < len(b.words) {
+			if w&^b.words[i] != 0 {
+				return false
+			}
+		} else if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PopcountRange counts the members in the half-open ID range [lo, hi).
+// Out-of-range bounds are clamped to [0, Cap].
+func (b *BitSet) PopcountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo/64, (hi-1)/64
+	loMask := ^uint64(0) << (uint(lo) % 64)
+	hiMask := ^uint64(0) >> (63 - uint(hi-1)%64)
+	if loW == hiW {
+		return bits.OnesCount64(b.words[loW] & loMask & hiMask)
+	}
+	c := bits.OnesCount64(b.words[loW] & loMask)
+	for i := loW + 1; i < hiW; i++ {
+		c += bits.OnesCount64(b.words[i])
+	}
+	return c + bits.OnesCount64(b.words[hiW]&hiMask)
+}
+
+// NextSet returns the smallest member >= from, or (NilProcess, false) if
+// there is none. Iterate a set allocation-free with
+//
+//	for id, ok := b.NextSet(0); ok; id, ok = b.NextSet(int(id) + 1) { ... }
+func (b *BitSet) NextSet(from int) (ProcessID, bool) {
+	if from < 0 {
+		from = 0
+	}
+	if from >= b.n {
+		return NilProcess, false
+	}
+	w := from / 64
+	cur := b.words[w] & (^uint64(0) << (uint(from) % 64))
+	for {
+		if cur != 0 {
+			id := ProcessID(w*64 + bits.TrailingZeros64(cur))
+			if int(id) >= b.n {
+				return NilProcess, false
+			}
+			return id, true
+		}
+		w++
+		if w >= len(b.words) {
+			return NilProcess, false
+		}
+		cur = b.words[w]
+	}
+}
+
 // Members lists the member IDs in ascending order.
 func (b *BitSet) Members() []ProcessID {
 	out := make([]ProcessID, 0, b.Count())
-	for i := 0; i < b.n; i++ {
-		if b.Has(ProcessID(i)) {
-			out = append(out, ProcessID(i))
-		}
+	for id, ok := b.NextSet(0); ok; id, ok = b.NextSet(int(id) + 1) {
+		out = append(out, id)
 	}
 	return out
 }

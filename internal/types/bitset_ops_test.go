@@ -1,0 +1,251 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBitSetUnion covers in-place union including mismatched capacities
+// spanning multiple words.
+func TestBitSetUnion(t *testing.T) {
+	a := NewBitSet(130)
+	b := NewBitSet(130)
+	a.Add(0)
+	a.Add(65)
+	b.Add(64)
+	b.Add(129)
+	a.Union(b)
+	for _, id := range []ProcessID{0, 64, 65, 129} {
+		if !a.Has(id) {
+			t.Errorf("union missing %v", id)
+		}
+	}
+	if a.Count() != 4 {
+		t.Errorf("union count = %d, want 4", a.Count())
+	}
+
+	// A larger source must not smuggle bits beyond the target capacity:
+	// the shared last word of a 70-cap target can hold source members
+	// 70..127, which must be masked away.
+	small := NewBitSet(70)
+	big := NewBitSet(128)
+	big.Add(69)
+	big.Add(70)
+	big.Add(127)
+	small.Union(big)
+	if !small.Has(69) || small.Count() != 1 {
+		t.Errorf("truncating union = %v, want {p69}", small)
+	}
+	// The result must stay canonical so wire round-trips keep working.
+	if _, err := BitSetFromWords(small.Cap(), small.Words()); err != nil {
+		t.Errorf("union left non-canonical words: %v", err)
+	}
+	small.Union(nil) // no-op
+	if small.Count() != 1 {
+		t.Error("nil union changed the set")
+	}
+}
+
+func TestBitSetContainsAll(t *testing.T) {
+	a := NewBitSet(200)
+	b := NewBitSet(200)
+	for _, id := range []ProcessID{1, 64, 128, 199} {
+		a.Add(id)
+	}
+	if !a.ContainsAll(b) {
+		t.Error("empty set not contained")
+	}
+	b.Add(64)
+	b.Add(199)
+	if !a.ContainsAll(b) {
+		t.Error("subset rejected")
+	}
+	b.Add(2)
+	if a.ContainsAll(b) {
+		t.Error("non-subset accepted")
+	}
+	if !a.ContainsAll(nil) {
+		t.Error("nil not contained")
+	}
+	// A wider set with a member beyond a's capacity is not contained.
+	wide := NewBitSet(512)
+	wide.Add(300)
+	if a.ContainsAll(wide) {
+		t.Error("member beyond capacity accepted")
+	}
+}
+
+func TestBitSetPopcountRange(t *testing.T) {
+	b := NewBitSet(300)
+	members := []ProcessID{0, 1, 63, 64, 65, 127, 128, 255, 299}
+	for _, id := range members {
+		b.Add(id)
+	}
+	cases := []struct{ lo, hi, want int }{
+		{0, 300, len(members)},
+		{0, 0, 0},
+		{5, 5, 0},
+		{0, 1, 1},
+		{1, 64, 2},
+		{63, 65, 2},
+		{64, 128, 3},
+		{128, 256, 2},
+		{256, 300, 1},
+		{-10, 1000, len(members)}, // clamped
+		{299, 300, 1},
+		{300, 400, 0},
+	}
+	for _, c := range cases {
+		if got := b.PopcountRange(c.lo, c.hi); got != c.want {
+			t.Errorf("PopcountRange(%d, %d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestBitSetNextSet(t *testing.T) {
+	b := NewBitSet(257)
+	for _, id := range []ProcessID{3, 64, 191, 256} {
+		b.Add(id)
+	}
+	var got []ProcessID
+	for id, ok := b.NextSet(0); ok; id, ok = b.NextSet(int(id) + 1) {
+		got = append(got, id)
+	}
+	want := []ProcessID{3, 64, 191, 256}
+	if len(got) != len(want) {
+		t.Fatalf("NextSet walk = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NextSet walk = %v, want %v", got, want)
+		}
+	}
+	if id, ok := b.NextSet(257); ok || id != NilProcess {
+		t.Error("NextSet past capacity returned a member")
+	}
+	if id, ok := b.NextSet(-5); !ok || id != 3 {
+		t.Errorf("NextSet(-5) = %v, %v", id, ok)
+	}
+	if _, ok := NewBitSet(0).NextSet(0); ok {
+		t.Error("empty-capacity set returned a member")
+	}
+}
+
+// FuzzBitSetOps drives the new dense-state operations against a
+// map-based model over capacities that cross many word boundaries.
+func FuzzBitSetOps(f *testing.F) {
+	f.Add(int64(1), 70, uint8(16))
+	f.Add(int64(2), 257, uint8(64))
+	f.Add(int64(3), 64, uint8(3))
+	f.Add(int64(4), 1, uint8(1))
+	f.Add(int64(5), 4096, uint8(128))
+	f.Fuzz(func(t *testing.T, seed int64, n int, ops uint8) {
+		if n < 0 || n > 1<<14 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBitSet(n)
+		model := make(map[ProcessID]bool)
+		for i := 0; i < int(ops); i++ {
+			switch rng.Intn(4) {
+			case 0: // add
+				id := ProcessID(rng.Intn(n + 1)) // may be == n (out of range)
+				b.Add(id)
+				if int(id) < n {
+					model[id] = true
+				}
+			case 1: // remove
+				id := ProcessID(rng.Intn(n + 1))
+				b.Remove(id)
+				delete(model, id)
+			case 2: // union with a random set (possibly different capacity)
+				on := n + rng.Intn(65) - 32
+				if on < 0 {
+					on = 0
+				}
+				o := NewBitSet(on)
+				for j := 0; j < rng.Intn(8); j++ {
+					if on == 0 {
+						break
+					}
+					id := ProcessID(rng.Intn(on))
+					o.Add(id)
+					if int(id) < n {
+						model[id] = true
+					}
+				}
+				b.Union(o)
+			case 3: // reset occasionally
+				if rng.Intn(8) == 0 {
+					b.Reset()
+					model = make(map[ProcessID]bool)
+				}
+			}
+		}
+
+		// Membership, count, and canonical encoding match the model.
+		if b.Count() != len(model) {
+			t.Fatalf("Count = %d, model %d", b.Count(), len(model))
+		}
+		if _, err := BitSetFromWords(n, b.Words()); err != nil {
+			t.Fatalf("non-canonical words after ops: %v", err)
+		}
+		for id := range model {
+			if !b.Has(id) {
+				t.Fatalf("missing %v", id)
+			}
+		}
+
+		// NextSet walks exactly the model's members in ascending order.
+		walked := 0
+		prev := ProcessID(-1)
+		for id, ok := b.NextSet(0); ok; id, ok = b.NextSet(int(id) + 1) {
+			if id <= prev {
+				t.Fatalf("NextSet not ascending: %v after %v", id, prev)
+			}
+			if !model[id] {
+				t.Fatalf("NextSet yielded non-member %v", id)
+			}
+			prev = id
+			walked++
+		}
+		if walked != len(model) {
+			t.Fatalf("NextSet walked %d members, model has %d", walked, len(model))
+		}
+
+		// PopcountRange over random windows matches a model count.
+		for i := 0; i < 8; i++ {
+			lo, hi := rng.Intn(n+2)-1, rng.Intn(n+2)-1
+			want := 0
+			for id := range model {
+				if int(id) >= lo && int(id) < hi {
+					want++
+				}
+			}
+			if got := b.PopcountRange(lo, hi); got != want {
+				t.Fatalf("PopcountRange(%d, %d) = %d, model %d", lo, hi, got, want)
+			}
+		}
+
+		// ContainsAll agrees with the model for a random subset and a
+		// perturbed non-subset.
+		sub := NewBitSet(n)
+		for id := range model {
+			if rng.Intn(2) == 0 {
+				sub.Add(id)
+			}
+		}
+		if !b.ContainsAll(sub) {
+			t.Fatal("subset rejected")
+		}
+		if n > 0 {
+			extra := ProcessID(rng.Intn(n))
+			if !model[extra] {
+				sub.Add(extra)
+				if b.ContainsAll(sub) {
+					t.Fatalf("non-subset accepted (extra %v)", extra)
+				}
+			}
+		}
+	})
+}
