@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-json bench-sim-json bench-net-json bench-engine-json bench-explore-json bench-scale-json explore chaos-smoke experiments examples fuzz cover clean
+.PHONY: all build test test-short test-race vet bench bench-json bench-sim-json bench-net-json bench-engine-json bench-acs-json bench-explore-json bench-scale-json explore chaos-smoke experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -58,6 +58,14 @@ bench-net-json:
 bench-engine-json:
 	$(GO) run ./cmd/adaptiveba-bench -bench-engine-json BENCH_engine.json
 
+# Regenerate the batched-ACS A/B baseline (BENCH_acs.json): the n-proposer
+# batched log (one BKR ACS round per slot) vs the single-proposer pipelined
+# log over n in {9,17,33} x batch in {1,16,64} x f in {0,t}, asserting
+# byte-identical decisions across tick-worker counts and admission windows
+# and >= n/2x committed requests per slot at f=0.
+bench-acs-json:
+	$(GO) run ./cmd/adaptiveba-bench -bench-acs-json BENCH_acs.json
+
 # Regenerate the adversarial schedule-search baseline
 # (BENCH_explore.json): genetic search for the worst adversary schedule
 # at every (n, f) grid point, checked against the O(n(f+1)) word
@@ -102,6 +110,8 @@ fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzCertRoundTrip -fuzztime 30s
 	$(GO) test ./internal/wire -fuzz FuzzFullRegistryRoundTrip -fuzztime 30s
 	$(GO) test ./internal/core/bb -fuzz FuzzDecodeValue -fuzztime 30s
+	$(GO) test ./internal/acs -fuzz FuzzDecodeBatch -fuzztime 30s
+	$(GO) test ./internal/acs -fuzz FuzzDecodeResult -fuzztime 30s
 	$(GO) test ./internal/crypto/verifycache -fuzz FuzzCachedVerifyMatchesDirect -fuzztime 30s
 	$(GO) test ./internal/transport -fuzz FuzzReadFrame$$ -fuzztime 30s
 	$(GO) test ./internal/transport -fuzz FuzzReadFrameRoundTrip -fuzztime 30s

@@ -76,6 +76,9 @@ type Options struct {
 	// the replicated log) keeps in flight concurrently; 1 is strictly
 	// serial, 0 pipelines as deeply as the workload allows.
 	Inflight int
+	// Batch is the per-proposer batch size of a batched log run
+	// (ReplicateBatchContext); 0 means 1.
+	Batch int
 }
 
 // Result reports a completed run.

@@ -1,0 +1,145 @@
+package adaptiveba
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestReplicateBatchFailureFree(t *testing.T) {
+	const n, rounds, batch = 5, 2, 3
+	res, err := ReplicateBatchContext(context.Background(), n,
+		queuesFor(n, rounds*batch), rounds, WithBatch(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement {
+		t.Fatal("replicas diverged")
+	}
+	if got, want := res.Committed, n*rounds*batch; got != want {
+		t.Fatalf("committed %d commands, want %d", got, want)
+	}
+	if res.SubsetMin != n {
+		t.Errorf("min subset %d, want %d in a failure-free run", res.SubsetMin, n)
+	}
+	if len(res.Entries) != res.Committed {
+		t.Fatalf("%d entries for %d committed commands", len(res.Entries), res.Committed)
+	}
+	// Round 0, proposer 0's batch leads the order.
+	if !bytes.Equal(res.Entries[0].Command, []byte("cmd-0-0")) {
+		t.Errorf("entry 0 committed %q", res.Entries[0].Command)
+	}
+	if res.WordsPerCommit <= 0 {
+		t.Errorf("words per commit = %.1f", res.WordsPerCommit)
+	}
+	if res.StateHash == "" {
+		t.Error("empty state hash")
+	}
+}
+
+// TestReplicateBatchBeatsSingleProposer pins the throughput claim at the
+// API level: one batched round commits n×batch commands where one
+// single-proposer slot commits one.
+func TestReplicateBatchBeatsSingleProposer(t *testing.T) {
+	const n, batch = 5, 4
+	acs, err := ReplicateBatchContext(context.Background(), n,
+		queuesFor(n, batch), 1, WithBatch(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := ReplicateLogContext(context.Background(), n, queuesFor(n, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := 0
+	for _, e := range log.Entries {
+		if e.Command != nil {
+			committed++
+		}
+	}
+	if acs.Committed != n*batch || committed != 1 {
+		t.Fatalf("per-slot commits: batched=%d single=%d, want %d and 1", acs.Committed, committed, n*batch)
+	}
+}
+
+func TestReplicateBatchCrashFaults(t *testing.T) {
+	const n, rounds, batch = 5, 2, 2
+	res, err := ReplicateBatchContext(context.Background(), n,
+		queuesFor(n, rounds*batch), rounds, WithBatch(batch), WithFaults(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement {
+		t.Fatal("replicas diverged")
+	}
+	if res.SubsetMin < n-2 {
+		t.Errorf("min subset %d < n-t = %d", res.SubsetMin, n-2)
+	}
+	if got, want := res.Committed, (n-2)*rounds*batch; got != want {
+		t.Errorf("committed %d commands, want %d", got, want)
+	}
+	for _, e := range res.Entries {
+		if e.Proposer == 1 || e.Proposer == 2 {
+			t.Errorf("slot %d attributed to crashed proposer %d", e.Slot, e.Proposer)
+		}
+	}
+}
+
+// TestReplicateBatchPipelined checks the window-independence contract:
+// committed entries and the state hash are identical at every inflight
+// window.
+func TestReplicateBatchPipelined(t *testing.T) {
+	const n, rounds, batch = 5, 3, 2
+	var serial *BatchResult
+	for _, w := range []int{1, 2} {
+		res, err := ReplicateBatchContext(context.Background(), n,
+			queuesFor(n, rounds*batch), rounds, WithBatch(batch), WithInflight(w))
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if serial == nil {
+			serial = res
+			continue
+		}
+		if res.StateHash != serial.StateHash {
+			t.Errorf("w=%d: state hash %s != serial %s", w, res.StateHash, serial.StateHash)
+		}
+		if len(res.Entries) != len(serial.Entries) {
+			t.Fatalf("w=%d: %d entries != serial %d", w, len(res.Entries), len(serial.Entries))
+		}
+		for i := range res.Entries {
+			if !bytes.Equal(res.Entries[i].Command, serial.Entries[i].Command) {
+				t.Errorf("w=%d: entry %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestReplicateBatchValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := ReplicateBatchContext(ctx, 5, queuesFor(4, 1), 1); !errors.Is(err, ErrInputs) {
+		t.Errorf("queue count: %v", err)
+	}
+	if _, err := ReplicateBatchContext(ctx, 5, queuesFor(5, 1), 0); !errors.Is(err, ErrInputs) {
+		t.Errorf("zero rounds: %v", err)
+	}
+	if _, err := ReplicateBatchContext(ctx, 2, queuesFor(2, 1), 1); !errors.Is(err, ErrBadN) {
+		t.Errorf("bad n: %v", err)
+	}
+	if _, err := ReplicateBatchContext(ctx, 5, queuesFor(5, 1), 1, WithBatch(-1)); !errors.Is(err, ErrOptions) {
+		t.Errorf("negative batch: %v", err)
+	}
+	if _, err := ReplicateBatchContext(ctx, 5, queuesFor(5, 1), 1, WithPattern(FaultReplay), WithFaults(1)); !errors.Is(err, ErrOptions) {
+		t.Errorf("unsupported pattern: %v", err)
+	}
+}
+
+func TestReplicateBatchCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ReplicateBatchContext(ctx, 5, queuesFor(5, 1), 1)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled run returned %v", err)
+	}
+}

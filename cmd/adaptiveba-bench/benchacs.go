@@ -1,0 +1,230 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"adaptiveba/internal/engine"
+	"adaptiveba/internal/types"
+)
+
+// acsBenchBaseline is the single-proposer pipelined log (engine.RunLog)
+// measured at the same (n, f) — one command per slot, the yardstick the
+// ACS arms are ratioed against.
+type acsBenchBaseline struct {
+	F        int     `json:"f"`
+	Slots    int     `json:"slots"`
+	Commits  int     `json:"commits"`
+	Words    int64   `json:"words"`
+	Ticks    int64   `json:"ticks"`
+	PerKTick float64 `json:"commits_per_ktick"`
+	// PerSlot is commits/slots (< 1 when crashed proposers skip slots).
+	PerSlot        float64 `json:"commits_per_slot"`
+	WordsPerCommit float64 `json:"words_per_commit"`
+}
+
+// acsBenchArm is one (f, batch) measurement of the batched ACS log.
+type acsBenchArm struct {
+	F     int `json:"f"`
+	Batch int `json:"batch"`
+	// Ticks is the simulated run length; SessionTicks the per-round
+	// worst-case schedule D; Stride the gap between round starts.
+	Ticks        int64 `json:"ticks"`
+	SessionTicks int64 `json:"session_ticks"`
+	Stride       int64 `json:"stride"`
+	// Committed counts committed commands; SubsetMin is the smallest
+	// committed subset over the rounds (≥ n−t inside the fault model).
+	Committed int   `json:"committed"`
+	SubsetMin int   `json:"subset_min"`
+	Words     int64 `json:"words"`
+	// RequestsPerKTick is committed commands per 1000 simulated ticks;
+	// RequestsPerSlot is committed/rounds — the headline throughput
+	// number (n×batch at f=0 vs the baseline's ≤ 1).
+	RequestsPerKTick float64 `json:"requests_per_ktick"`
+	RequestsPerSlot  float64 `json:"requests_per_slot"`
+	// WordsPerRequest is the amortized word cost per committed command;
+	// it falls with the batch size while the baseline's is fixed.
+	WordsPerRequest float64 `json:"words_per_request"`
+	// RatioVsSingleProposer is RequestsPerSlot over the same-f baseline's
+	// commits per slot (the ISSUE target: ≥ n/2 at f=0).
+	RatioVsSingleProposer float64 `json:"ratio_vs_single_proposer"`
+	// DecisionsIdentical asserts the determinism contract: the engine
+	// fingerprint and the replayed kv state hash are byte-identical when
+	// the run repeats with 8 tick workers and again with a different
+	// admission window.
+	DecisionsIdentical bool    `json:"decisions_identical"`
+	StateHash          string  `json:"state_hash"`
+	WallSeconds        float64 `json:"wall_seconds"`
+}
+
+// acsBenchN groups the measurements for one system size.
+type acsBenchN struct {
+	N         int                `json:"n"`
+	T         int                `json:"t"`
+	Baselines []acsBenchBaseline `json:"baselines"`
+	Arms      []acsBenchArm      `json:"arms"`
+}
+
+// acsBench is the full report written by -bench-acs-json.
+type acsBench struct {
+	Workload   string `json:"workload"`
+	DeltaMs    int    `json:"delta_ms"`
+	Rounds     int    `json:"rounds"`
+	Batches    []int  `json:"batches"`
+	Ns         []int  `json:"ns"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Results []acsBenchN `json:"results"`
+}
+
+// acsBenchQueues builds per-proposer command queues deep enough to feed
+// every round at the given batch size.
+func acsBenchQueues(n, rounds, batch int) [][]types.Value {
+	queues := make([][]types.Value, n)
+	for p := range queues {
+		for j := 0; j < rounds*batch; j++ {
+			queues[p] = append(queues[p], types.Value(fmt.Sprintf("SET k%d-%d v%d", p, j, j)))
+		}
+	}
+	return queues
+}
+
+// runBenchACSJSON A/Bs the batched ACS log against the single-proposer
+// pipelined log over the (n, batch, f) grid: at every grid point the ACS
+// round commits an ≥ n−t subset of n proposer batches per slot where the
+// baseline commits at most one command, and each arm re-runs with 8 tick
+// workers and a different admission window to assert that decisions are
+// byte-identical. Fails if any f=0 arm commits fewer than n/2× the
+// baseline's per-slot requests.
+func runBenchACSJSON(out io.Writer, path string, ns, batches []int, rounds int) error {
+	if rounds < 1 {
+		return fmt.Errorf("-sessions: need at least one round, got %d", rounds)
+	}
+	rep := acsBench{
+		Workload:   "acs-batched-log-vs-single-proposer",
+		DeltaMs:    benchDeltaMillis,
+		Rounds:     rounds,
+		Batches:    batches,
+		Ns:         ns,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, n := range ns {
+		params, err := types.NewParams(n)
+		if err != nil {
+			return err
+		}
+		group := acsBenchN{N: n, T: params.T}
+		faults := []int{0, params.T}
+		basePerSlot := make(map[int]float64, len(faults))
+		for _, f := range faults {
+			queues := make([][]types.Value, n)
+			for s := 0; s < rounds; s++ {
+				p := s % n
+				queues[p] = append(queues[p], types.Value(fmt.Sprintf("SET slot%d p%d", s, p)))
+			}
+			lr, err := engine.RunLog(engine.Config{N: n, F: f, Inflight: 2, Seed: 7, Tag: "bench"}, queues, rounds)
+			if err != nil {
+				return fmt.Errorf("baseline n=%d f=%d: %w", n, f, err)
+			}
+			if !lr.Converged {
+				return fmt.Errorf("baseline n=%d f=%d: log did not converge", n, f)
+			}
+			base := acsBenchBaseline{
+				F:       f,
+				Slots:   rounds,
+				Commits: lr.Committed,
+				Words:   lr.Engine.Metrics.Honest.Words,
+				Ticks:   int64(lr.Engine.Ticks),
+				PerSlot: float64(lr.Committed) / float64(rounds),
+			}
+			if base.Ticks > 0 {
+				base.PerKTick = float64(base.Commits) * 1000 / float64(base.Ticks)
+			}
+			if base.Commits > 0 {
+				base.WordsPerCommit = float64(base.Words) / float64(base.Commits)
+			}
+			basePerSlot[f] = base.PerSlot
+			group.Baselines = append(group.Baselines, base)
+			fmt.Fprintf(out, "bench-acs: n=%-3d f=%-2d baseline  %d commits over %d slots  %.1f words/commit\n",
+				n, f, base.Commits, rounds, base.WordsPerCommit)
+		}
+		for _, f := range faults {
+			for _, batch := range batches {
+				cfg := engine.Config{N: n, F: f, Inflight: 2, Seed: 7, Tag: "bench"}
+				start := time.Now()
+				ref, err := engine.RunACSLog(cfg, acsBenchQueues(n, rounds, batch), rounds, batch)
+				wall := time.Since(start)
+				if err != nil {
+					return fmt.Errorf("acs n=%d f=%d batch=%d: %w", n, f, batch, err)
+				}
+				if !ref.Converged {
+					return fmt.Errorf("acs n=%d f=%d batch=%d: round did not converge", n, f, batch)
+				}
+				arm := acsBenchArm{
+					F:            f,
+					Batch:        batch,
+					Ticks:        int64(ref.Engine.Ticks),
+					SessionTicks: int64(ref.Engine.SessionTicks),
+					Stride:       int64(ref.Engine.Stride),
+					Committed:    ref.Committed,
+					SubsetMin:    ref.SubsetMin,
+					Words:        ref.Engine.Metrics.Honest.Words,
+					StateHash:    ref.StateHash,
+					WallSeconds:  wall.Seconds(),
+				}
+				if arm.Ticks > 0 {
+					arm.RequestsPerKTick = float64(arm.Committed) * 1000 / float64(arm.Ticks)
+				}
+				arm.RequestsPerSlot = float64(arm.Committed) / float64(rounds)
+				if arm.Committed > 0 {
+					arm.WordsPerRequest = float64(arm.Words) / float64(arm.Committed)
+				}
+				if basePerSlot[f] > 0 {
+					arm.RatioVsSingleProposer = arm.RequestsPerSlot / basePerSlot[f]
+				}
+				// Determinism: repeat with 8 tick workers, then with a
+				// different admission window; fingerprints and state hashes
+				// must match byte for byte.
+				arm.DecisionsIdentical = true
+				for _, variant := range []engine.Config{
+					{N: n, F: f, Inflight: 2, Seed: 7, Tag: "bench", TickWorkers: 8},
+					{N: n, F: f, Inflight: 1, Seed: 7, Tag: "bench"},
+				} {
+					vr, err := engine.RunACSLog(variant, acsBenchQueues(n, rounds, batch), rounds, batch)
+					if err != nil {
+						return fmt.Errorf("acs variant n=%d f=%d batch=%d: %w", n, f, batch, err)
+					}
+					if vr.Engine.Fingerprint() != ref.Engine.Fingerprint() || vr.StateHash != ref.StateHash {
+						arm.DecisionsIdentical = false
+					}
+				}
+				group.Arms = append(group.Arms, arm)
+				fmt.Fprintf(out, "bench-acs: n=%-3d f=%-2d batch=%-3d %d commands  subset≥%d  %.1f req/slot (%.1fx vs single)  %.1f words/req  identical=%v  (%.2fs wall)\n",
+					n, f, batch, arm.Committed, arm.SubsetMin, arm.RequestsPerSlot, arm.RatioVsSingleProposer, arm.WordsPerRequest, arm.DecisionsIdentical, arm.WallSeconds)
+				if !arm.DecisionsIdentical {
+					return fmt.Errorf("determinism violation: n=%d f=%d batch=%d diverged across workers/windows", n, f, batch)
+				}
+				if f == 0 && arm.RatioVsSingleProposer < float64(n)/2 {
+					return fmt.Errorf("throughput target missed: n=%d batch=%d committed %.1fx the single-proposer log, want >= n/2 = %.1f",
+						n, batch, arm.RatioVsSingleProposer, float64(n)/2)
+				}
+			}
+		}
+		rep.Results = append(rep.Results, group)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  wrote %s\n", path)
+	return nil
+}

@@ -50,6 +50,8 @@ func run(args []string, out io.Writer) error {
 		benchEng   = fs.String("bench-engine-json", "", "A/B the multi-session engine's pipelined replicated log against serial slot-at-a-time execution, write a machine-readable report to this path")
 		sessions   = fs.Int("sessions", 64, "engine A/B: total log slots per run")
 		inflight   = fs.String("inflight", "1,4,16,64", "engine A/B: admission windows to measure (comma-separated; serial baseline first)")
+		benchACS   = fs.String("bench-acs-json", "", "A/B the batched ACS log against the single-proposer pipelined log over the (n, batch, f) grid, write a machine-readable report to this path")
+		batchesFl  = fs.String("batches", "1,16,64", "acs A/B: per-proposer batch sizes to measure (comma-separated)")
 		benchExp   = fs.String("bench-explore-json", "", "run the adversarial schedule search over the full (n, 0..t) grid, write worst-words-vs-envelope to this path")
 		benchScale = fs.String("bench-scale-json", "", "sweep the large-n grid (adaptive BB vs committee sampling vs floodset over n ∈ -scale-ns × f ∈ {0,1,√n,t}), write a machine-readable report to this path")
 		scaleNs    = fs.String("scale-ns", "64,256,1024,4096", "scale sweep: n values (comma-separated)")
@@ -103,6 +105,28 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-inflight: %w", err)
 		}
 		return runBenchEngineJSON(out, *benchEng, ns, *sessions, windows)
+	}
+	if *benchACS != "" {
+		// The ACS A/B has its own default mesh sizes and round count; -ns
+		// and -sessions override.
+		nsStr, rounds := "9,17,33", 4
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "ns":
+				nsStr = *nsFlag
+			case "sessions":
+				rounds = *sessions
+			}
+		})
+		ns, err := parseInts(nsStr)
+		if err != nil {
+			return fmt.Errorf("-ns: %w", err)
+		}
+		batches, err := parseInts(*batchesFl)
+		if err != nil {
+			return fmt.Errorf("-batches: %w", err)
+		}
+		return runBenchACSJSON(out, *benchACS, ns, batches, rounds)
 	}
 	if *benchExp != "" {
 		// The explore sweep has its own default protocol and mesh sizes;

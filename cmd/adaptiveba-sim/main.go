@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/engine"
 	"adaptiveba/internal/explore"
 	"adaptiveba/internal/harness"
 	"adaptiveba/internal/types"
@@ -43,7 +44,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("adaptiveba-sim", flag.ContinueOnError)
 	var (
-		protocol = fs.String("protocol", "bb", "protocol: bb | wba | strongba | dolev-strong | echo-bb | fallback | floodset | committee")
+		protocol = fs.String("protocol", "bb", "protocol: bb | wba | strongba | acs | dolev-strong | echo-bb | fallback | floodset | committee")
 		n        = fs.Int("n", 9, "number of processes")
 		f        = fs.Int("f", 0, "number of corrupted processes")
 		fault    = fs.String("fault", "crash", "fault pattern: crash | crash-leader | replay")
@@ -58,7 +59,9 @@ func run(args []string, out io.Writer) error {
 		reps     = fs.Int("reps", 1, "repetitions with derived seeds (> 1 prints a min/median/max summary)")
 		workers  = fs.Int("parallel", 0, "worker count for -reps runs (0 = one per CPU, 1 = sequential)")
 		tickW    = fs.Int("tick-workers", 0, "per-tick worker count inside one run (0 = one per CPU, 1 = serial); any value yields identical output")
-		sessions = fs.Int("sessions", 1, "run this many concurrent instances of the protocol through the multi-session engine (bb | wba | strongba only)")
+		sessions = fs.Int("sessions", 1, "run this many concurrent instances of the protocol through the multi-session engine (bb | wba | strongba | acs only)")
+		acsMode  = fs.Bool("acs", false, "run the batched replicated log: -sessions ACS rounds of n proposer batches each (uses -n, -f, -batch, -inflight, -tick-workers)")
+		batch    = fs.Int("batch", 1, "commands per proposer batch (-acs rounds and -protocol acs)")
 		inflight = fs.Int("inflight", 0, "engine admission window: max sessions in flight (0 = all at once, 1 = strictly serial)")
 		maxqueue = fs.Int("maxqueue", 0, "engine queue bound behind the window: 0 = unbounded, > 0 sheds requests beyond inflight+maxqueue, < 0 sheds everything beyond the window")
 		expl     = fs.Bool("explore", false, "search adversary schedules for the worst case instead of running one spec (bb | wba; uses -n, -f, -seed, -parallel)")
@@ -67,6 +70,19 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *batch < 1 {
+		return fmt.Errorf("-batch: need at least 1, got %d", *batch)
+	}
+	if *acsMode {
+		rounds := *sessions
+		if rounds < 1 {
+			rounds = 1
+		}
+		return runACS(out, engine.Config{
+			N: *n, F: *f, Inflight: *inflight, Seed: *seed,
+			Ed25519: *ed25519, TickWorkers: *tickW,
+		}, rounds, *batch)
 	}
 	if *expl {
 		return runExplore(out, explore.Config{
@@ -96,6 +112,7 @@ func run(args []string, out io.Writer) error {
 		CertMode:      mode,
 		NoVerifyCache: *nocache,
 		TickWorkers:   *tickW,
+		Batch:         *batch,
 	}
 	if *trace {
 		spec.Trace = out
@@ -185,6 +202,48 @@ func runEngine(out io.Writer, spec harness.Spec, sessions, inflight, maxqueue in
 	}
 	if violated || rep.TimedOut {
 		return fmt.Errorf("engine run violated agreement or termination")
+	}
+	return nil
+}
+
+// runACS drives the batched replicated log (-acs): `rounds` ACS rounds,
+// each committing a ≥ n−t subset of n proposer batches, flattened into
+// one total order and replayed through the kv state machine. The
+// per-round table shows the committed subset and request count; the
+// footer gives the amortized word cost per committed command.
+func runACS(out io.Writer, cfg engine.Config, rounds, batch int) error {
+	queues := make([][]types.Value, cfg.N)
+	for p := range queues {
+		for j := 0; j < rounds*batch; j++ {
+			queues[p] = append(queues[p], types.Value(fmt.Sprintf("SET k%d-%d v%d", p, j, j)))
+		}
+	}
+	rep, err := engine.RunACSLog(cfg, queues, rounds, batch)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "protocol    acs × %d rounds, batch %d\n", rounds, batch)
+	fmt.Fprintf(out, "n, t, f     %d, %d, %d\n", rep.Engine.N, rep.Engine.T, rep.Engine.F)
+	fmt.Fprintf(out, "schedule    stride %d, round %d, total %d ticks (δ)\n",
+		rep.Engine.Stride, rep.Engine.SessionTicks, rep.Engine.Ticks)
+	fmt.Fprintln(out, "\nper-round:")
+	for _, r := range rep.Rounds {
+		fmt.Fprintf(out, "  round %-3d subset %d/%d   %d commands\n",
+			r.Round, r.Subset, rep.Engine.N, r.Requests)
+	}
+	words := rep.Engine.Metrics.Honest.Words
+	fmt.Fprintf(out, "\ncommitted   %d commands (min subset %d)\n", rep.Committed, rep.SubsetMin)
+	fmt.Fprintf(out, "words       %d total", words)
+	if rep.Committed > 0 {
+		fmt.Fprintf(out, "   (%.1f per committed command)", float64(words)/float64(rep.Committed))
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "state hash  %s\n", rep.StateHash)
+	if len(rep.RejectedCommands) > 0 {
+		fmt.Fprintf(out, "rejected    %d commands\n", len(rep.RejectedCommands))
+	}
+	if !rep.Converged {
+		return fmt.Errorf("acs log violated agreement or termination")
 	}
 	return nil
 }

@@ -81,6 +81,46 @@ func TestRunNoVerifyCacheMatchesDefault(t *testing.T) {
 	}
 }
 
+func TestRunACSMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-acs", "-n", "5", "-f", "1", "-sessions", "2", "-batch", "3", "-inflight", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"protocol    acs × 2 rounds, batch 3",
+		"subset 4/5",
+		"committed   24 commands",
+		"state hash  ",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// -acs output is deterministic across tick-worker counts.
+	var par bytes.Buffer
+	if err := run([]string{"-acs", "-n", "5", "-f", "1", "-sessions", "2", "-batch", "3", "-inflight", "2", "-tick-workers", "4"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != par.String() {
+		t.Errorf("-tick-workers changed -acs output:\n--- serial ---\n%s\n--- parallel ---\n%s", out.String(), par.String())
+	}
+}
+
+func TestRunProtocolACS(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "acs", "-n", "5", "-batch", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"protocol    acs", "agreement   true"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if err := run([]string{"-acs", "-n", "5", "-batch", "0"}, &out); err == nil {
+		t.Error("batch=0 accepted")
+	}
+}
+
 func TestRunRejectsBadCertMode(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-n", "5", "-certmode", "bogus"}, &out); err == nil {

@@ -40,6 +40,7 @@ import (
 	"strconv"
 	"strings"
 
+	"adaptiveba/internal/acs"
 	"adaptiveba/internal/adversary"
 	"adaptiveba/internal/core/bb"
 	"adaptiveba/internal/core/strongba"
@@ -65,6 +66,10 @@ const (
 	KindWBA Kind = "wba"
 	// KindStrongBA is the paper's binary strong BA (Alg. 5).
 	KindStrongBA Kind = "strongba"
+	// KindACS is the BKR agreement-on-common-subset round: n concurrent
+	// BBs disseminate per-proposer batches, n binary strong-BA votes
+	// decide the committed subset (internal/acs).
+	KindACS Kind = "acs"
 )
 
 // Request describes one agreement instance to run.
@@ -94,6 +99,10 @@ type Config struct {
 	// LeaderFault crashes processes 0..F-1 (taking out the default BB
 	// sender) instead of the default 1..F.
 	LeaderFault bool
+	// Adversary, if set, overrides the F-derived crash adversary with a
+	// custom one built against the run's tick budget (e.g. a replay
+	// adversary whose horizon targets a session retirement edge).
+	Adversary func(maxTicks types.Tick) sim.Adversary
 	// Inflight bounds the number of concurrently live sessions (the
 	// admission window W). 0 admits as many as requested; 1 runs
 	// sessions strictly serially.
@@ -312,7 +321,9 @@ func Run(cfg Config, reqs []Request) (*Report, error) {
 	}
 
 	var adv sim.Adversary
-	if cfg.F > 0 {
+	if cfg.Adversary != nil {
+		adv = cfg.Adversary(maxTicks)
+	} else if cfg.F > 0 {
 		ids := make([]types.ProcessID, 0, cfg.F)
 		start := 1
 		if cfg.LeaderFault {
@@ -343,11 +354,19 @@ func Run(cfg Config, reqs []Request) (*Report, error) {
 	}
 
 	// Demux losses: messages for already-retired sessions are discarded
-	// and counted, never silently dropped.
+	// and counted, never silently dropped. ACS sessions retire their own
+	// broadcast children at the vote boundary, so their nested late
+	// counts roll up too.
 	var late int64
 	for _, p := range procs {
-		if p != nil && p.mux != nil {
-			late += p.mux.Late() + p.mux.Unrouted()
+		if p == nil || p.mux == nil {
+			continue
+		}
+		late += p.mux.Late() + p.mux.Unrouted()
+		for _, child := range p.children {
+			if m, ok := child.(*acs.Machine); ok && m != nil {
+				late += m.Late()
+			}
 		}
 	}
 	if late > 0 {
@@ -408,6 +427,13 @@ func Run(cfg Config, reqs []Request) (*Report, error) {
 					s.DecisionTick = dt
 				}
 			case *strongba.Machine:
+				if mm.RanFallback() {
+					s.FallbackProcs++
+				}
+				if dt := mm.DecidedAtTick(); dt > s.DecisionTick {
+					s.DecisionTick = dt
+				}
+			case *acs.Machine:
 				if mm.RanFallback() {
 					s.FallbackProcs++
 				}
@@ -523,6 +549,8 @@ func (b *builder) duration(k int) (types.Tick, error) {
 			return 0, fmt.Errorf("%w: session %d: %v", ErrConfig, k, err)
 		}
 		return m.MaxTicks(), nil
+	case KindACS:
+		return acs.NewMachine(b.acsConfig(k, 0)).MaxTicks(), nil
 	default:
 		return 0, fmt.Errorf("%w: session %d: unknown kind %q", ErrConfig, k, req.Kind)
 	}
@@ -542,6 +570,8 @@ func (b *builder) machine(k int, id types.ProcessID) proto.Machine {
 			m, _ = strongba.NewMachine(b.sbaConfig(k, 0))
 		}
 		return m
+	case KindACS:
+		return acs.NewMachine(b.acsConfig(k, id))
 	default:
 		return bb.NewMachine(b.bbConfig(k, id))
 	}
@@ -576,6 +606,21 @@ func (b *builder) sbaConfig(k int, id types.ProcessID) strongba.Config {
 	return strongba.Config{
 		Params: b.params, Crypto: b.crypto, ID: id,
 		Input: b.inputFor(k, id, true), Tag: b.sessionTag(k),
+	}
+}
+
+// acsConfig assigns process id its proposed batch via Request.Inputs
+// (already EncodeBatch-framed by the caller); nil proposes an empty
+// batch.
+func (b *builder) acsConfig(k int, id types.ProcessID) acs.Config {
+	req := &b.reqs[k]
+	var input types.Value
+	if req.Inputs != nil && int(id) < len(req.Inputs) {
+		input = req.Inputs[id]
+	}
+	return acs.Config{
+		Params: b.params, Crypto: b.crypto, ID: id,
+		Input: input, Tag: b.sessionTag(k),
 	}
 }
 

@@ -30,8 +30,10 @@ func RunEngine(spec Spec, sessions, inflight, maxQueue int) (*engine.Report, err
 		kind = engine.KindWBA
 	case ProtocolStrongBA:
 		kind = engine.KindStrongBA
+	case ProtocolACS:
+		kind = engine.KindACS
 	default:
-		return nil, fmt.Errorf("%w: engine runs bb, wba or strongba, got %q", ErrSpec, spec.Protocol)
+		return nil, fmt.Errorf("%w: engine runs bb, wba, strongba or acs, got %q", ErrSpec, spec.Protocol)
 	}
 	// Apply Run's spec defaults before deriving inputs, so inputFor sees
 	// the same spec a solo run would.
@@ -54,6 +56,13 @@ func RunEngine(spec Spec, sessions, inflight, maxQueue int) (*engine.Report, err
 	switch kind {
 	case engine.KindBB:
 		req.Value = spec.Value
+	case engine.KindACS:
+		// Every process proposes its batch, exactly as a solo ProtocolACS
+		// run would build it.
+		r := &runner{spec: spec}
+		for id := 0; id < spec.N; id++ {
+			req.Inputs = append(req.Inputs, r.acsBatch(types.ProcessID(id)))
+		}
 	default:
 		// Materialize the spec's input policy (unanimous / distinct /
 		// per-process) exactly as a solo Run would assign it.

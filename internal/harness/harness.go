@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"adaptiveba/internal/acs"
 	"adaptiveba/internal/adversary"
 	"adaptiveba/internal/adversary/attacks"
 	"adaptiveba/internal/baseline/committee"
@@ -65,6 +66,11 @@ const (
 	// committee-sampling baseline (CRASH faults): the large-n rival the
 	// scale benchmark compares the adaptive protocol against.
 	ProtocolCommittee Protocol = "committee"
+	// ProtocolACS is the BKR agreement-on-common-subset round: every
+	// process proposes a batch of Spec.Batch commands, n concurrent BBs
+	// disseminate them, n binary strong-BA votes decide the committed
+	// subset (internal/acs).
+	ProtocolACS Protocol = "acs"
 )
 
 // Fault selects the failure pattern applied to the run.
@@ -119,7 +125,12 @@ type Spec struct {
 	Value types.Value
 	// PerProcessInputs, when non-nil, assigns each process its own input
 	// (length N) and overrides Inputs/Value for the agreement protocols.
+	// For ProtocolACS the values must be acs.EncodeBatch frames.
 	PerProcessInputs []types.Value
+	// Batch is the per-proposer batch size for ProtocolACS (default 1):
+	// each process proposes that many synthetic commands, so one round
+	// commits up to N×Batch requests.
+	Batch int
 	// Predicate overrides weak BA's validity predicate (default:
 	// accept any non-⊥ value).
 	Predicate func(types.Value) bool
@@ -290,6 +301,7 @@ type runner struct {
 	bbMachines  map[types.ProcessID]*bb.Machine
 	fsMachines  map[types.ProcessID]*floodset.Machine
 	cmMachines  map[types.ProcessID]*committee.Machine
+	acsMachines map[types.ProcessID]*acs.Machine
 }
 
 // crashSet derives the crashed process IDs from the fault pattern.
@@ -455,6 +467,15 @@ func (r *runner) execute() (*Outcome, error) {
 			r.cmMachines[id] = m
 			return m
 		}
+	case ProtocolACS:
+		r.acsMachines = make(map[types.ProcessID]*acs.Machine)
+		probe := acs.NewMachine(r.acsConfig(0))
+		maxTicks = probe.MaxTicks() + 4
+		factory = func(id types.ProcessID) proto.Machine {
+			m := acs.NewMachine(r.acsConfig(id))
+			r.acsMachines[id] = m
+			return m
+		}
 	case ProtocolFallback:
 		maxTicks = types.Tick(r.params.T+4) * 4
 		factory = func(id types.ProcessID) proto.Machine {
@@ -500,6 +521,7 @@ func (r *runner) execute() (*Outcome, error) {
 	var sizeOf func(proto.Payload) int
 	if r.spec.MeasureBytes {
 		reg := wire.NewRegistry()
+		acs.RegisterWire(reg)
 		bb.RegisterWire(reg)
 		wba.RegisterWire(reg)
 		strongba.RegisterWire(reg)
@@ -603,6 +625,34 @@ func (r *runner) sbaConfig(id types.ProcessID) strongba.Config {
 	}
 }
 
+// acsBatch builds process id's proposed batch: Spec.Batch synthetic
+// commands (deterministic per proposer), unless PerProcessInputs
+// supplies a pre-framed batch.
+func (r *runner) acsBatch(id types.ProcessID) types.Value {
+	if r.spec.PerProcessInputs != nil {
+		if int(id) < len(r.spec.PerProcessInputs) {
+			return r.spec.PerProcessInputs[id]
+		}
+		return nil
+	}
+	size := r.spec.Batch
+	if size <= 0 {
+		size = 1
+	}
+	cmds := make([]types.Value, 0, size)
+	for j := 0; j < size; j++ {
+		cmds = append(cmds, types.Value(fmt.Sprintf("SET a%d-%d v%d", int(id), j, j)))
+	}
+	return acs.EncodeBatch(cmds)
+}
+
+func (r *runner) acsConfig(id types.ProcessID) acs.Config {
+	return acs.Config{
+		Params: r.params, Crypto: r.crypto, ID: id,
+		Input: r.acsBatch(id), Tag: "h/acs",
+	}
+}
+
 // fallbackCount counts honest processes that ran A_fallback.
 func (r *runner) fallbackCount(res *sim.Result) int {
 	count := 0
@@ -618,6 +668,10 @@ func (r *runner) fallbackCount(res *sim.Result) int {
 			}
 		case r.bbMachines != nil:
 			if m := r.bbMachines[id]; m != nil && m.WBA() != nil && m.WBA().RanFallback() {
+				count++
+			}
+		case r.acsMachines != nil:
+			if m := r.acsMachines[id]; m != nil && m.RanFallback() {
 				count++
 			}
 		}
@@ -655,6 +709,10 @@ func (r *runner) decisionTick(res *sim.Result) types.Tick {
 		case r.cmMachines != nil:
 			if m := r.cmMachines[id]; m != nil {
 				note(types.Tick(m.Rounds()))
+			}
+		case r.acsMachines != nil:
+			if m := r.acsMachines[id]; m != nil {
+				note(m.DecidedAtTick())
 			}
 		}
 	}

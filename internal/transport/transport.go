@@ -28,6 +28,7 @@ import (
 	"time"
 	"unsafe"
 
+	"adaptiveba/internal/acs"
 	"adaptiveba/internal/baseline/dolevstrong"
 	"adaptiveba/internal/baseline/echobb"
 	"adaptiveba/internal/core/bb"
@@ -44,6 +45,7 @@ import (
 // registered — enough to frame any machine in this repository.
 func NewFullRegistry() *wire.Registry {
 	reg := wire.NewRegistry()
+	acs.RegisterWire(reg)
 	bb.RegisterWire(reg)
 	bbviaba.RegisterWire(reg)
 	wba.RegisterWire(reg)

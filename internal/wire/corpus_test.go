@@ -6,9 +6,11 @@
 package wire_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
+	"adaptiveba/internal/acs"
 	"adaptiveba/internal/adversary/attacks"
 	"adaptiveba/internal/core/valid"
 	"adaptiveba/internal/core/wba"
@@ -84,9 +86,44 @@ func captureCorpus() (map[string][]byte, error) {
 			corpusErr = err
 			return
 		}
+		if err := captureACSRun(frames); err != nil {
+			corpusErr = err
+			return
+		}
 		corpusFrames = frames
 	})
 	return corpusFrames, corpusErr
+}
+
+// captureACSRun covers the ACS payload types. They never appear as
+// top-level messages on the simulated network — a batch rides inside BB
+// dissemination as opaque value bytes, and the result is the round's
+// decision — so OnSend cannot harvest them. Instead a real ProtocolACS
+// run's decided Outcome.Decision IS a framed acs/result (the machine's
+// canonical output), and each of its committed batches is a framed
+// acs/batch.
+func captureACSRun(frames map[string][]byte) error {
+	out, err := harness.Run(harness.Spec{Protocol: harness.ProtocolACS, N: 5, F: 1, Batch: 2})
+	if err != nil {
+		return err
+	}
+	if !out.Agreement || out.Decision == nil {
+		return fmt.Errorf("corpus acs run did not decide")
+	}
+	result, err := acs.DecodeResult(out.Decision)
+	if err != nil {
+		return err
+	}
+	if len(result.Batches) == 0 {
+		return fmt.Errorf("corpus acs run committed no batches")
+	}
+	if _, seen := frames[acs.Result{}.Type()]; !seen {
+		frames[acs.Result{}.Type()] = []byte(out.Decision)
+	}
+	if _, seen := frames[acs.Batch{}.Type()]; !seen {
+		frames[acs.Batch{}.Type()] = []byte(result.Batches[0])
+	}
+	return nil
 }
 
 // captureHelpRun emits wba/help, which no harness fault model produces:
