@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-json bench-sim-json bench-net-json bench-engine-json bench-acs-json bench-explore-json bench-scale-json explore chaos-smoke experiments examples fuzz cover clean
+.PHONY: all build test test-short test-race vet bench bench-json bench-sim-json bench-net-json bench-engine-json bench-acs-json bench-admit-json bench-explore-json bench-scale-json bench-all profile explore chaos-smoke experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -66,6 +66,14 @@ bench-engine-json:
 bench-acs-json:
 	$(GO) run ./cmd/adaptiveba-bench -bench-acs-json BENCH_acs.json
 
+# Regenerate the session-scheduling A/B baseline (BENCH_admit.json):
+# the decision-driven eager schedule vs the static stride over the
+# 64-slot BB log at n in {9,17,33} x f in {0,t} x inflight in {4,16},
+# asserting byte-identical decisions/words/state per cell and recording
+# the commit-throughput multiple in simulated (δ-bound) time.
+bench-admit-json:
+	$(GO) run ./cmd/adaptiveba-bench -bench-admit-json BENCH_admit.json
+
 # Regenerate the adversarial schedule-search baseline
 # (BENCH_explore.json): genetic search for the worst adversary schedule
 # at every (n, f) grid point, checked against the O(n(f+1)) word
@@ -83,6 +91,25 @@ bench-explore-json:
 # Takes several minutes (the n=4096 cells dominate).
 bench-scale-json:
 	$(GO) run ./cmd/adaptiveba-bench -bench-scale-json BENCH_scale.json
+
+# Run every bench-*-json mode, then sweep the regenerated reports'
+# determinism flags in one pass: any decisions_identical=false or
+# csv_identical=false fails the target.
+bench-all: bench-json bench-sim-json bench-net-json bench-engine-json bench-acs-json bench-admit-json bench-explore-json bench-scale-json
+	@echo "— determinism flags across BENCH_*.json —"
+	@grep -c '"decisions_identical": true\|"csv_identical": true' BENCH_*.json || true
+	@if grep -l '"decisions_identical": false\|"csv_identical": false' BENCH_*.json; then \
+		echo "FAIL: a bench report recorded a determinism violation"; exit 1; \
+	fi
+	@echo "bench-all: every determinism flag is true"
+
+# CPU/heap-profile the heaviest deterministic bench (the scheduling A/B)
+# and print the hottest functions — flame-graph evidence for perf PRs.
+# Profiles land in cpu.pprof / mem.pprof for `go tool pprof -http`.
+profile:
+	$(GO) run ./cmd/adaptiveba-bench -bench-admit-json /tmp/BENCH_admit.profile.json \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	$(GO) tool pprof -top -nodecount 15 cpu.pprof
 
 # Interactive single-grid-point search with a full report.
 explore:
@@ -122,4 +149,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt cpu.pprof mem.pprof

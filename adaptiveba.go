@@ -79,6 +79,9 @@ type Options struct {
 	// Batch is the per-proposer batch size of a batched log run
 	// (ReplicateBatchContext); 0 means 1.
 	Batch int
+	// Sched selects the session scheduling policy of a multi-session
+	// run (Static or Eager; nil = Static). See WithScheduler.
+	Sched Scheduler
 }
 
 // Result reports a completed run.

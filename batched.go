@@ -113,7 +113,7 @@ func ReplicateBatchContext(ctx context.Context, n int, queues [][][]byte, rounds
 		N: n, T: merged.Threshold, F: spec.F, LeaderFault: leader,
 		Inflight: merged.Inflight, Seed: merged.Seed,
 		Ed25519: merged.RealSignatures, Trace: merged.Trace,
-		Halt: haltFrom(ctx),
+		Halt: haltFrom(ctx), Scheduler: merged.Sched,
 	}, qs, rounds, batch)
 	if err != nil {
 		return nil, mapCanceled(ctx, err)

@@ -71,12 +71,13 @@ type acsBenchN struct {
 
 // acsBench is the full report written by -bench-acs-json.
 type acsBench struct {
-	Workload   string `json:"workload"`
-	DeltaMs    int    `json:"delta_ms"`
-	Rounds     int    `json:"rounds"`
-	Batches    []int  `json:"batches"`
-	Ns         []int  `json:"ns"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workload   string   `json:"workload"`
+	DeltaMs    int      `json:"delta_ms"`
+	Rounds     int      `json:"rounds"`
+	Batches    []int    `json:"batches"`
+	Ns         []int    `json:"ns"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Host       hostMeta `json:"host"`
 
 	Results []acsBenchN `json:"results"`
 }
@@ -111,6 +112,7 @@ func runBenchACSJSON(out io.Writer, path string, ns, batches []int, rounds int) 
 		Batches:    batches,
 		Ns:         ns,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       newHostMeta(),
 	}
 	for _, n := range ns {
 		params, err := types.NewParams(n)

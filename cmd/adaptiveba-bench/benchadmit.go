@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"adaptiveba/internal/engine"
+	"adaptiveba/internal/types"
+)
+
+// admitBenchArm is one scheduling policy's measurement of a cell.
+type admitBenchArm struct {
+	Scheduler string `json:"scheduler"`
+	// Ticks is the simulated run length; SessionTicks the per-slot
+	// worst-case duration D (identical between arms — only the schedule
+	// differs).
+	Ticks        int64 `json:"ticks"`
+	SessionTicks int64 `json:"session_ticks"`
+	Commits      int   `json:"commits"`
+	Words        int64 `json:"words"`
+	// CommitsPerKTick is commits per 1000 simulated ticks; CommitsPerSec
+	// applies δ = 25ms per tick.
+	CommitsPerKTick float64 `json:"commits_per_ktick"`
+	CommitsPerSec   float64 `json:"commits_per_sec"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	StateHash       string  `json:"state_hash"`
+}
+
+// admitBenchCell is one (n, f, W) static-vs-eager comparison.
+type admitBenchCell struct {
+	N        int `json:"n"`
+	F        int `json:"f"`
+	Inflight int `json:"inflight"`
+
+	Static admitBenchArm `json:"static"`
+	Eager  admitBenchArm `json:"eager"`
+
+	// SpeedupKTick is eager commit throughput over static on the
+	// simulated-time basis (deterministic).
+	SpeedupKTick float64 `json:"speedup_ktick"`
+	// DecisionsIdentical asserts the A/B contract: the eager arm's
+	// per-session decisions, word and message counts (the engine
+	// fingerprint) and replayed kv state hash match the static arm's
+	// byte for byte.
+	DecisionsIdentical bool `json:"decisions_identical"`
+}
+
+// admitBench is the full report written by -bench-admit-json.
+type admitBench struct {
+	Workload string   `json:"workload"`
+	DeltaMs  int      `json:"delta_ms"`
+	Slots    int      `json:"slots"`
+	Windows  []int    `json:"windows"`
+	Ns       []int    `json:"ns"`
+	Host     hostMeta `json:"host"`
+
+	Cells []admitBenchCell `json:"cells"`
+}
+
+// runBenchAdmitJSON A/Bs the decision-driven (eager) session schedule
+// against the static stride over the (n, f ∈ {0, t}, W) grid: the same
+// rotating-proposer BB log under both policies, asserting that eager
+// retirement changes only the schedule — never a decision, a word
+// count, or the replayed state — while retiring slots as soon as they
+// decide. The f=0 cells are where early decisions leave the most slack
+// under the worst-case stride, so that is where the speedup lands.
+func runBenchAdmitJSON(out io.Writer, path string, ns []int, slots int, windows []int) error {
+	if slots < 1 {
+		return fmt.Errorf("-sessions: need at least one slot, got %d", slots)
+	}
+	rep := admitBench{
+		Workload: "smr-log-over-bb",
+		DeltaMs:  benchDeltaMillis,
+		Slots:    slots,
+		Windows:  windows,
+		Ns:       ns,
+		Host:     newHostMeta(),
+	}
+	for _, n := range ns {
+		queues := make([][]types.Value, n)
+		for s := 0; s < slots; s++ {
+			p := s % n
+			queues[p] = append(queues[p], types.Value(fmt.Sprintf("SET slot%d p%d", s, p)))
+		}
+		for _, f := range []int{0, (n - 1) / 2} {
+			for _, w := range windows {
+				cell := admitBenchCell{N: n, F: f, Inflight: w}
+				var staticFP, eagerFP string
+				for _, sched := range []engine.Scheduler{engine.Static, engine.Eager} {
+					start := time.Now()
+					lr, err := engine.RunLog(engine.Config{
+						N: n, F: f, Inflight: w, Seed: 7, Tag: "bench", Scheduler: sched,
+					}, queues, slots)
+					wall := time.Since(start)
+					if err != nil {
+						return fmt.Errorf("n=%d f=%d W=%d %s: %w", n, f, w, sched.Name(), err)
+					}
+					er := lr.Engine
+					if !lr.Converged || er.TimedOut {
+						return fmt.Errorf("n=%d f=%d W=%d %s: log did not converge", n, f, w, sched.Name())
+					}
+					arm := admitBenchArm{
+						Scheduler:    sched.Name(),
+						Ticks:        int64(er.Ticks),
+						SessionTicks: int64(er.SessionTicks),
+						Commits:      lr.Committed,
+						Words:        er.Metrics.Honest.Words,
+						WallSeconds:  wall.Seconds(),
+						StateHash:    lr.StateHash,
+					}
+					if er.Ticks > 0 {
+						arm.CommitsPerKTick = float64(lr.Committed) * 1000 / float64(er.Ticks)
+						arm.CommitsPerSec = float64(lr.Committed) / (float64(er.Ticks) * benchDeltaMillis / 1000)
+					}
+					if sched == engine.Static {
+						cell.Static, staticFP = arm, er.Fingerprint()
+					} else {
+						cell.Eager, eagerFP = arm, er.Fingerprint()
+					}
+				}
+				// The contract check compares full fingerprints, not just the
+				// JSON summary: decisions, per-session words/messages, state.
+				cell.DecisionsIdentical = staticFP == eagerFP && cell.Static.StateHash == cell.Eager.StateHash
+				if cell.Static.CommitsPerKTick > 0 {
+					cell.SpeedupKTick = cell.Eager.CommitsPerKTick / cell.Static.CommitsPerKTick
+				}
+				rep.Cells = append(rep.Cells, cell)
+				fmt.Fprintf(out, "bench-admit: n=%-3d f=%-2d W=%-3d static=%-5d eager=%-5d ticks  %.2fx commits/ktick  identical=%v\n",
+					n, f, w, cell.Static.Ticks, cell.Eager.Ticks, cell.SpeedupKTick, cell.DecisionsIdentical)
+				if !cell.DecisionsIdentical {
+					return fmt.Errorf("determinism violation: n=%d f=%d W=%d eager diverged from static", n, f, w)
+				}
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  wrote %s\n", path)
+	return nil
+}

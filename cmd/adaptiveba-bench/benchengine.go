@@ -54,12 +54,13 @@ type engineBenchN struct {
 
 // engineBench is the full report written by -bench-engine-json.
 type engineBench struct {
-	Workload   string `json:"workload"`
-	DeltaMs    int    `json:"delta_ms"`
-	Slots      int    `json:"slots"`
-	Windows    []int  `json:"windows"`
-	Ns         []int  `json:"ns"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workload   string   `json:"workload"`
+	DeltaMs    int      `json:"delta_ms"`
+	Slots      int      `json:"slots"`
+	Windows    []int    `json:"windows"`
+	Ns         []int    `json:"ns"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Host       hostMeta `json:"host"`
 
 	Results []engineBenchN `json:"results"`
 }
@@ -80,6 +81,7 @@ func runBenchEngineJSON(out io.Writer, path string, ns []int, slots int, windows
 		Windows:    windows,
 		Ns:         ns,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       newHostMeta(),
 	}
 	for _, n := range ns {
 		queues := make([][]types.Value, n)

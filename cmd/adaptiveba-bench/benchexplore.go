@@ -38,13 +38,14 @@ type explorePoint struct {
 
 // exploreBench is the full report written by -bench-explore-json.
 type exploreBench struct {
-	Workload    string `json:"workload"`
-	Protocol    string `json:"protocol"`
-	Ns          []int  `json:"ns"`
-	Seed        int64  `json:"seed"`
-	Generations int    `json:"generations"`
-	Population  int    `json:"population"`
-	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Workload    string   `json:"workload"`
+	Protocol    string   `json:"protocol"`
+	Ns          []int    `json:"ns"`
+	Seed        int64    `json:"seed"`
+	Generations int      `json:"generations"`
+	Population  int      `json:"population"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Host        hostMeta `json:"host"`
 
 	Sweep []explorePoint `json:"sweep"`
 
@@ -71,6 +72,7 @@ func runBenchExploreJSON(out io.Writer, path string, protocol string, ns []int, 
 		Generations: generations,
 		Population:  population,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Host:        newHostMeta(),
 	}
 	rep.AllUnderEnvelope = true
 	for _, n := range ns {

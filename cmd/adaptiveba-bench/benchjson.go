@@ -42,14 +42,15 @@ type cryptoBenchRun struct {
 
 // cryptoBench is the full A/B report written by -bench-json.
 type cryptoBench struct {
-	Protocol   string `json:"protocol"`
-	Fault      string `json:"fault"`
-	Scheme     string `json:"scheme"`
-	CertMode   string `json:"cert_mode"`
-	Ns         []int  `json:"ns"`
-	Fs         []int  `json:"fs"`
-	Workers    int    `json:"pool_workers"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	Protocol   string   `json:"protocol"`
+	Fault      string   `json:"fault"`
+	Scheme     string   `json:"scheme"`
+	CertMode   string   `json:"cert_mode"`
+	Ns         []int    `json:"ns"`
+	Fs         []int    `json:"fs"`
+	Workers    int      `json:"pool_workers"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Host       hostMeta `json:"host"`
 
 	Cached   cryptoBenchRun `json:"cached"`
 	Uncached cryptoBenchRun `json:"uncached"`
@@ -78,6 +79,7 @@ func runBenchJSON(out io.Writer, path string, pool harness.Pool, base harness.Sp
 		Fs:         fs,
 		Workers:    pool.Workers,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       newHostMeta(),
 	}
 	measure := func(noCache bool) (cryptoBenchRun, []byte, error) {
 		spec := base

@@ -40,9 +40,10 @@ type netPoint struct {
 
 // netBench is the full report written by -bench-net-json.
 type netBench struct {
-	Workload   string `json:"workload"`
-	Ns         []int  `json:"ns"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workload   string   `json:"workload"`
+	Ns         []int    `json:"ns"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Host       hostMeta `json:"host"`
 
 	Sweep []netPoint `json:"sweep"`
 
@@ -104,6 +105,7 @@ func runBenchNetJSON(out io.Writer, path string, ns []int) error {
 		Workload:   "signed bb sender-broadcast over loopback tcp",
 		Ns:         ns,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       newHostMeta(),
 	}
 	for _, n := range ns {
 		batched, err := measureNetArm(n, false)

@@ -46,10 +46,11 @@ type scaleCell struct {
 
 // scaleBench is the report written by -bench-scale-json.
 type scaleBench struct {
-	Fault      string `json:"fault"`
-	Scheme     string `json:"scheme"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Ns         []int  `json:"ns"`
+	Fault      string   `json:"fault"`
+	Scheme     string   `json:"scheme"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Host       hostMeta `json:"host"`
+	Ns         []int    `json:"ns"`
 	// FsPerN documents the f axis: {0, 1, ⌈√n⌉, t} per n.
 	FsPerN    map[string][]int `json:"fs_per_n"`
 	Protocols []string         `json:"protocols"`
@@ -160,6 +161,7 @@ func runBenchScaleJSON(out io.Writer, path string, ns []int) error {
 		Fault:      string(harness.FaultCrash),
 		Scheme:     "hmac",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       newHostMeta(),
 		Ns:         ns,
 		FsPerN:     make(map[string][]int, len(ns)),
 		Protocols:  scaleProtocols,

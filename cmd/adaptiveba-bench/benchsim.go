@@ -33,8 +33,9 @@ type simBench struct {
 	// PoolWorkers is pinned to 1 for both arms: run-level parallelism
 	// would confound the measurement, which isolates intra-run tick
 	// stepping (the engine's -tick-workers axis).
-	PoolWorkers int `json:"pool_workers"`
-	GOMAXPROCS  int `json:"gomaxprocs"`
+	PoolWorkers int      `json:"pool_workers"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Host        hostMeta `json:"host"`
 
 	Serial   simBenchRun `json:"serial"`
 	Parallel simBenchRun `json:"parallel"`
@@ -65,6 +66,7 @@ func runBenchSimJSON(out io.Writer, path string, base harness.Spec, ns, fs []int
 		Fs:          fs,
 		PoolWorkers: 1,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Host:        newHostMeta(),
 	}
 	measure := func(tickWorkers int) (simBenchRun, []byte, error) {
 		spec := base

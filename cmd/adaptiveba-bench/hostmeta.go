@@ -1,0 +1,24 @@
+package main
+
+import "runtime"
+
+// hostMeta records the machine a BENCH_*.json report was produced on, so
+// the committed perf trajectory stays comparable across hosts. Every
+// bench emitter embeds it under the "host" key.
+type hostMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func newHostMeta() hostMeta {
+	return hostMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}

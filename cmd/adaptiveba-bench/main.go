@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,6 +52,7 @@ func run(args []string, out io.Writer) error {
 		benchEng   = fs.String("bench-engine-json", "", "A/B the multi-session engine's pipelined replicated log against serial slot-at-a-time execution, write a machine-readable report to this path")
 		sessions   = fs.Int("sessions", 64, "engine A/B: total log slots per run")
 		inflight   = fs.String("inflight", "1,4,16,64", "engine A/B: admission windows to measure (comma-separated; serial baseline first)")
+		benchAdmit = fs.String("bench-admit-json", "", "A/B the eager (decision-driven) session schedule against the static stride over the (n, f, inflight) grid, write a machine-readable report to this path")
 		benchACS   = fs.String("bench-acs-json", "", "A/B the batched ACS log against the single-proposer pipelined log over the (n, batch, f) grid, write a machine-readable report to this path")
 		batchesFl  = fs.String("batches", "1,16,64", "acs A/B: per-proposer batch sizes to measure (comma-separated)")
 		benchExp   = fs.String("bench-explore-json", "", "run the adversarial schedule search over the full (n, 0..t) grid, write worst-words-vs-envelope to this path")
@@ -58,9 +61,36 @@ func run(args []string, out io.Writer) error {
 		expSeed    = fs.Int64("seed", 1, "explore sweep: search seed (whole report is a pure function of it)")
 		expGens    = fs.Int("generations", 3, "explore sweep: generations per grid point")
 		expPop     = fs.Int("population", 6, "explore sweep: population per generation")
+		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this path")
+		memProf    = fs.String("memprofile", "", "write a pprof heap profile (after a final GC) to this path on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adaptiveba-bench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "adaptiveba-bench: -memprofile:", err)
+			}
+		}()
 	}
 	pool := harness.Pool{Workers: *workers}
 	mode, err := parseCertMode(*certmode)
@@ -105,6 +135,28 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-inflight: %w", err)
 		}
 		return runBenchEngineJSON(out, *benchEng, ns, *sessions, windows)
+	}
+	if *benchAdmit != "" {
+		// The admission A/B has its own default mesh sizes and window list
+		// (the ISSUE's X-ADMIT grid); -ns and -inflight override.
+		nsStr, winStr := "9,17,33", "4,16"
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "ns":
+				nsStr = *nsFlag
+			case "inflight":
+				winStr = *inflight
+			}
+		})
+		ns, err := parseInts(nsStr)
+		if err != nil {
+			return fmt.Errorf("-ns: %w", err)
+		}
+		windows, err := parseInts(winStr)
+		if err != nil {
+			return fmt.Errorf("-inflight: %w", err)
+		}
+		return runBenchAdmitJSON(out, *benchAdmit, ns, *sessions, windows)
 	}
 	if *benchACS != "" {
 		// The ACS A/B has its own default mesh sizes and round count; -ns

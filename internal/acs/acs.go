@@ -29,6 +29,14 @@
 // holding batch i, which is why this port needs no post-vote batch
 // fetch protocol.
 //
+// Config.Early restores the spirit of the asynchronous coupling rule:
+// vote v_i starts the tick b_i decides (BB decisions are simultaneous
+// across honest processes under crash faults — certificate- or
+// fallback-schedule-driven — so the staggered anchors stay lockstep),
+// with the conservative boundary kept as the sweep point for broadcasts
+// that never decide. Decisions and word counts are identical in both
+// modes; Early only shortens the round.
+//
 // The BB children are retired at the vote boundary (their bucket
 // returns to the mux free list, mirroring the engine's own session
 // retirement); any batch-dissemination traffic arriving after the
@@ -58,6 +66,20 @@ type Config struct {
 	// Tag domain-separates this round's signatures; child i signs under
 	// Tag+"/b<i>" (broadcast) and Tag+"/v<i>" (vote).
 	Tag string
+	// Early switches to the early-stopping vote boundary: vote v_i
+	// starts the tick broadcast b_i decides (and b_i retires then),
+	// instead of waiting for the conservative bb.MaxTicks boundary.
+	// Under crash faults every honest process observes each b_i's
+	// decision at the same tick (BB decisions are certificate- or
+	// fallback-schedule-driven, both simultaneous), so the staggered
+	// vote anchors stay lockstep-consistent and the BKR coupling rule is
+	// preserved per index: 1 iff b_i delivered a batch. Broadcasts still
+	// undecided at the conservative boundary are swept there with
+	// 0-votes, and the ≥ n−t delivered check fires at whichever point
+	// closes the vote stage. Decisions, words, and messages are
+	// identical to the conservative boundary; only the round's latency
+	// changes. Default off (the engine's Eager scheduler turns it on).
+	Early bool
 }
 
 // Machine implements proto.Machine for one ACS round.
@@ -73,12 +95,14 @@ type Machine struct {
 	bbTicks  types.Tick
 	baTicks  types.Tick
 
-	batches   []types.Value // BB outputs captured at the vote boundary
+	batches   []types.Value // BB outputs captured when each vote starts
 	committed *types.BitSet
 
-	voting   bool
-	decided  bool
-	decision types.Value
+	delivered    int  // broadcasts captured non-⊥ (vote input 1)
+	startedVotes int  // votes opened so far
+	voting       bool // every vote started; the broadcast stage is closed
+	decided      bool
+	decision     types.Value
 
 	decidedAtTick types.Tick
 	err           error
@@ -144,9 +168,13 @@ func (m *Machine) Failed() error { return m.err }
 func (m *Machine) Begin(now types.Tick) []proto.Outgoing {
 	m.start = now
 	m.voteTick = now + m.bbTicks
-	m.bcasts = make([]*bb.Machine, m.cfg.Params.N)
+	n := m.cfg.Params.N
+	m.bcasts = make([]*bb.Machine, n)
+	m.batches = make([]types.Value, n)
+	m.votes = make([]*strongba.Machine, n)
+	m.vsubs = make([]*proto.Sub, n)
 	var outs []proto.Outgoing
-	for i := 0; i < m.cfg.Params.N; i++ {
+	for i := 0; i < n; i++ {
 		child := bb.NewMachine(m.bbConfig(types.ProcessID(i)))
 		m.bcasts[i] = child
 		outs = append(outs, m.mux.Add(bName(i), child).Begin(now)...)
@@ -157,8 +185,13 @@ func (m *Machine) Begin(now types.Tick) []proto.Outgoing {
 // Tick implements proto.Machine.
 func (m *Machine) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing {
 	outs := m.mux.Tick(now, inbox)
-	if !m.voting && now >= m.voteTick {
-		outs = m.startVotes(now, outs)
+	if !m.voting {
+		if m.cfg.Early {
+			outs = m.startReadyVotes(now, outs)
+		}
+		if !m.voting && now >= m.voteTick {
+			outs = m.closeVotes(now, outs)
+		}
 	}
 	if m.voting && !m.decided {
 		m.finish(now)
@@ -166,51 +199,88 @@ func (m *Machine) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing 
 	return outs
 }
 
-// startVotes closes the broadcast stage and opens the vote stage: BB
-// outputs are captured, broadcast sessions retire (stragglers count as
-// late from here on), and the n binary votes begin — vote i led by
-// proposer i, input 1 iff BB_i delivered a batch.
-func (m *Machine) startVotes(now types.Tick, prior []proto.Outgoing) []proto.Outgoing {
-	m.voting = true
-	n := m.cfg.Params.N
-	m.batches = make([]types.Value, n)
-	delivered := 0
+// startReadyVotes (Early mode) opens vote v_i the tick b_i decides: the
+// output is captured, b_i retires (stragglers count as late from here
+// on), and the vote begins anchored at now — the same tick on every
+// honest process, because BB decisions are simultaneous under crash
+// faults. Once all n votes are open the vote stage is sealed early.
+func (m *Machine) startReadyVotes(now types.Tick, prior []proto.Outgoing) []proto.Outgoing {
+	outs := prior
 	for i, child := range m.bcasts {
-		if v, ok := child.Output(); ok && !v.IsBottom() {
+		if m.vsubs[i] != nil {
+			continue
+		}
+		v, ok := child.Output()
+		if !ok {
+			continue
+		}
+		if !v.IsBottom() {
 			m.batches[i] = v
-			delivered++
+			m.delivered++
 		}
 		if err := child.Failed(); err != nil {
 			m.fail(err)
 		}
 		m.mux.Retire(bName(i))
+		outs = m.startVote(i, now, outs)
 	}
-	// BKR coupling rule at the synchronous boundary: the delivered count
-	// is already ≥ n−t here (synchrony: every honest proposer's BB has
-	// delivered by now, and there are ≥ n−t honest proposers), so the
-	// undelivered remainder is voted 0 outright rather than waited on.
-	if min := m.cfg.Params.N - m.cfg.Params.T; delivered < min {
-		m.fail(fmt.Errorf("only %d of %d broadcasts delivered by the vote boundary (fault model exceeded)", delivered, min))
-	}
-	m.votes = make([]*strongba.Machine, n)
-	m.vsubs = make([]*proto.Sub, n)
-	outs := prior
-	for i := 0; i < n; i++ {
-		input := types.Zero
-		if m.batches[i] != nil {
-			input = types.One
-		}
-		child, err := strongba.NewMachine(m.baConfig(types.ProcessID(i), input))
-		if err != nil {
-			m.fail(err)
-			continue
-		}
-		m.votes[i] = child
-		sub := m.mux.Add(vName(i), child)
-		m.vsubs[i] = sub
-		outs = append(outs, sub.Begin(now)...)
+	if m.startedVotes == m.cfg.Params.N {
+		m.sealVotes()
 	}
 	return outs
+}
+
+// closeVotes closes the broadcast stage at the conservative boundary:
+// every remaining BB output is captured (undecided ones vote 0 outright
+// — the BKR coupling rule applied degenerately, since synchrony
+// guarantees ≥ n−t honest proposers' BBs have delivered by now), the
+// remaining broadcast sessions retire, and the remaining votes begin.
+func (m *Machine) closeVotes(now types.Tick, prior []proto.Outgoing) []proto.Outgoing {
+	outs := prior
+	for i, child := range m.bcasts {
+		if m.vsubs[i] != nil {
+			continue
+		}
+		if v, ok := child.Output(); ok && !v.IsBottom() {
+			m.batches[i] = v
+			m.delivered++
+		}
+		if err := child.Failed(); err != nil {
+			m.fail(err)
+		}
+		m.mux.Retire(bName(i))
+		outs = m.startVote(i, now, outs)
+	}
+	m.sealVotes()
+	return outs
+}
+
+// startVote opens vote i — led by proposer i, input 1 iff b_i delivered
+// a batch — under its own session and signature domain.
+func (m *Machine) startVote(i int, now types.Tick, prior []proto.Outgoing) []proto.Outgoing {
+	m.startedVotes++
+	input := types.Zero
+	if m.batches[i] != nil {
+		input = types.One
+	}
+	child, err := strongba.NewMachine(m.baConfig(types.ProcessID(i), input))
+	if err != nil {
+		m.fail(err)
+		return prior
+	}
+	m.votes[i] = child
+	sub := m.mux.Add(vName(i), child)
+	m.vsubs[i] = sub
+	return append(prior, sub.Begin(now)...)
+}
+
+// sealVotes marks the vote stage fully open and applies the ≥ n−t
+// loud-failure check on the delivered count.
+func (m *Machine) sealVotes() {
+	m.voting = true
+	if min := m.cfg.Params.N - m.cfg.Params.T; m.delivered < min {
+		m.fail(fmt.Errorf("only %d of %d broadcasts delivered by the vote boundary (fault model exceeded)", m.delivered, min))
+	}
 }
 
 // finish concludes the round once every vote has decided: the committed

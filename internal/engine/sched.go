@@ -1,0 +1,118 @@
+// Scheduling policies: when sessions retire and how admission reacts.
+//
+// The engine's original (and default) schedule is the static stride:
+// session k begins at tick k·ceil(D/W) and holds its slot for the full
+// worst-case duration D, a pure function of the request index. That
+// keeps every correct process in lockstep but pays worst-case latency
+// even when every session decides rounds earlier — the scheduling
+// analogue of the word-complexity pessimism the paper removes.
+//
+// The Eager policy extends the paper's adaptivity to wall-clock: a
+// session vacates its slot the tick after its machine decides, and the
+// next queued session is admitted into the freed slot immediately. The
+// determinism argument (DESIGN.md §5): under crash faults every honest
+// process decides a given session at the same tick, because decisions
+// are driven by broadcast certificates (delivered to all, including the
+// sender, on the same tick) or by fixed fallback schedules anchored at
+// Begin. Retirement and admission are therefore functions of locally
+// observable events that are nevertheless identical across processes —
+// no coordination traffic is needed, and per-session decisions, words,
+// and messages stay byte-identical to the static schedule.
+package engine
+
+import (
+	"fmt"
+
+	"adaptiveba/internal/proto"
+	"adaptiveba/internal/types"
+)
+
+// Scheduler selects the engine's session admission/retirement policy.
+// The implementations are Static (the stride schedule, default) and
+// Eager (decision-driven retirement). The interface is sealed: policy
+// correctness rests on the cross-process determinism argument above, so
+// implementations outside this package are not accepted.
+type Scheduler interface {
+	// Name identifies the policy in reports and CLI flags.
+	Name() string
+
+	// reactive reports whether admission reacts to retirements (Eager)
+	// or follows the precomputed stride schedule (Static).
+	reactive() bool
+	// retireNow reports whether a live session admitted at tick
+	// `admitted` with worst-case duration `duration` should vacate its
+	// slot at the top of tick now, given its machine's observable state.
+	retireNow(child proto.Machine, admitted, duration, now types.Tick) bool
+	// budget returns the run's tick bound for `accepted` sessions
+	// through a window of `window` slots with per-session duration
+	// `slot` (Static computes its bound from the stride schedule
+	// directly and does not use this).
+	budget(accepted, window int, slot types.Tick) types.Tick
+}
+
+type staticPolicy struct{}
+
+func (staticPolicy) Name() string   { return "static" }
+func (staticPolicy) reactive() bool { return false }
+
+func (staticPolicy) retireNow(_ proto.Machine, admitted, duration, now types.Tick) bool {
+	return now >= admitted+duration
+}
+
+func (staticPolicy) budget(accepted, window int, slot types.Tick) types.Tick {
+	stride := (slot + types.Tick(window) - 1) / types.Tick(window)
+	if stride < 1 {
+		stride = 1
+	}
+	return types.Tick(accepted-1)*stride + 2*slot
+}
+
+type eagerPolicy struct{}
+
+func (eagerPolicy) Name() string   { return "eager" }
+func (eagerPolicy) reactive() bool { return true }
+
+// retireNow retires a decided session the tick after its machine
+// reports a decision (its last step was at now−1, so Output turning ok
+// here means every honest process observed the same decision tick), and
+// in any case at the worst-case deadline, so a never-deciding session
+// cannot wedge admission.
+func (eagerPolicy) retireNow(child proto.Machine, admitted, duration, now types.Tick) bool {
+	if now >= admitted+duration {
+		return true
+	}
+	_, decided := child.Output()
+	return decided
+}
+
+// budget bounds the eager run by batch-sequential execution: if no
+// session ever decided early, ceil(accepted/window) full-duration
+// batches run back to back (plus the same 2·D slack the static bound
+// carries).
+func (eagerPolicy) budget(accepted, window int, slot types.Tick) types.Tick {
+	batches := types.Tick((accepted + window - 1) / window)
+	return (batches + 2) * slot
+}
+
+// Static is the stride schedule: session k begins at tick k·ceil(D/W)
+// and retires D ticks later, a pure function of the request index. It
+// is the default and the A/B control for golden-trace tests.
+var Static Scheduler = staticPolicy{}
+
+// Eager retires a session the tick after its machine decides, admitting
+// the next queued session into the freed slot immediately, and switches
+// ACS sessions to the early-stopping vote boundary (acs.Config.Early).
+// Decisions, words, and messages per session are identical to Static;
+// only the schedule (and hence the run's tick count) changes.
+var Eager Scheduler = eagerPolicy{}
+
+// SchedulerByName maps a CLI name to a policy ("" selects the default).
+func SchedulerByName(name string) (Scheduler, error) {
+	switch name {
+	case "", "static":
+		return Static, nil
+	case "eager":
+		return Eager, nil
+	}
+	return nil, fmt.Errorf("%w: unknown scheduler %q (static | eager)", ErrConfig, name)
+}

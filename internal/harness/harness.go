@@ -28,6 +28,7 @@ import (
 	"adaptiveba/internal/core/wba"
 	"adaptiveba/internal/crypto/sig"
 	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/engine"
 	"adaptiveba/internal/fallback"
 	"adaptiveba/internal/metrics"
 	"adaptiveba/internal/oracle"
@@ -190,6 +191,9 @@ type Spec struct {
 	// Monitor attaches the wire-level invariant oracle (internal/oracle)
 	// to the run; violations land in Outcome.InvariantViolations.
 	Monitor bool
+	// Sched selects the engine's session scheduling policy for RunEngine
+	// (engine.Static or engine.Eager; nil = Static). Solo Run ignores it.
+	Sched engine.Scheduler
 }
 
 // Outcome summarizes one run.

@@ -118,8 +118,21 @@ type Config struct {
 	// net drop). Session-demuxing hosts use it to shed traffic for
 	// sessions they have not admitted or have already retired, so a
 	// node does not pay payload decoding and signature checks for words
-	// it will never read.
+	// it will never read. Ignored when SessionHookV2 is set.
 	SessionHook func(from types.ProcessID, session string) bool
+	// SessionHookV2, if set, replaces SessionHook with a tri-state
+	// verdict: SessionAccept decodes the frame, SessionDrop sheds it (a
+	// net drop), and SessionDefer parks the raw frame — undecoded, so a
+	// deferred word costs no signature work — and re-offers it to the
+	// hook at each subsequent tick until it is accepted or dropped.
+	// Demuxing hosts running a decision-driven session schedule use
+	// Defer for sessions they have not admitted *yet* (the frame is
+	// early, not late), reserving Drop for retired sessions.
+	SessionHookV2 func(from types.ProcessID, session string) SessionVerdict
+	// DeferMax bounds the parked-frame buffer behind SessionDefer
+	// (default 1024). When full, the oldest parked frame is shed as a
+	// net drop — deferral degrades to the V1 behaviour, never blocks.
+	DeferMax int
 	// Recorder, if set, accounts for sent messages.
 	Recorder *metrics.Recorder
 	// Logf, if set, receives debug lines.
@@ -144,15 +157,37 @@ type Config struct {
 	Chaos ChaosConfig
 }
 
+// SessionVerdict is SessionHookV2's decision for one inbound frame.
+type SessionVerdict int
+
+// SessionHookV2 verdicts.
+const (
+	// SessionAccept decodes the frame and delivers it to the machine.
+	SessionAccept SessionVerdict = iota
+	// SessionDrop sheds the frame as a net drop (retired sessions).
+	SessionDrop
+	// SessionDefer parks the raw frame and re-offers it every tick
+	// until the hook accepts or drops it (not-yet-admitted sessions).
+	SessionDefer
+)
+
+// parkedFrame is one deferred inbound frame, held undecoded.
+type parkedFrame struct {
+	from    types.ProcessID
+	session string
+	payload []byte
+}
+
 // Node runs one machine over TCP. Close may be called from any
 // goroutine, at any point of the lifecycle, any number of times.
 type Node struct {
 	cfg     Config
 	machine proto.Machine
 
-	mu      sync.Mutex
-	inbox   []proto.Incoming
-	readyCh chan types.ProcessID
+	mu       sync.Mutex
+	inbox    []proto.Incoming
+	deferred []parkedFrame
+	readyCh  chan types.ProcessID
 
 	listener net.Listener
 	outbound []net.Conn
@@ -207,6 +242,9 @@ func NewNode(cfg Config, machine proto.Machine) (*Node, error) {
 	}
 	if cfg.FlushBytes <= 0 {
 		cfg.FlushBytes = 4 << 20
+	}
+	if cfg.DeferMax <= 0 {
+		cfg.DeferMax = 1024
 	}
 	if cfg.WriteDeadline <= 0 {
 		cfg.WriteDeadline = 10 * time.Second
@@ -398,10 +436,14 @@ func (n *Node) readLoop(ctx context.Context, conn net.Conn) {
 			if r.Close() != nil {
 				return
 			}
-			if n.cfg.SessionHook != nil && !n.cfg.SessionHook(from, session) {
+			switch n.sessionVerdict(from, session) {
+			case SessionDrop:
 				if n.cfg.Recorder != nil {
 					n.cfg.Recorder.RecordNetDrop()
 				}
+				continue
+			case SessionDefer:
+				n.park(from, session, payloadFrame)
 				continue
 			}
 			payload, err := n.cfg.Registry.DecodePayload(payloadFrame)
@@ -548,10 +590,7 @@ func (n *Node) tickLoop(ctx context.Context) (types.Value, error) {
 			n.closeOutbound()
 			return nil, ErrCrashed
 		}
-		n.mu.Lock()
-		inbox := n.inbox
-		n.inbox = nil
-		n.mu.Unlock()
+		inbox := n.collectInbox()
 		n.send(n.machine.Tick(now, inbox))
 		if n.machine.Done() {
 			extra++
@@ -561,6 +600,84 @@ func (n *Node) tickLoop(ctx context.Context) (types.Value, error) {
 			}
 		}
 	}
+}
+
+// sessionVerdict runs the configured session hook (V2 wins over V1) for
+// one parsed-but-undecoded frame.
+func (n *Node) sessionVerdict(from types.ProcessID, session string) SessionVerdict {
+	if n.cfg.SessionHookV2 != nil {
+		return n.cfg.SessionHookV2(from, session)
+	}
+	if n.cfg.SessionHook != nil && !n.cfg.SessionHook(from, session) {
+		return SessionDrop
+	}
+	return SessionAccept
+}
+
+// park defers one raw frame for later re-offering. The payload bytes are
+// copied: the reader's frame buffer is reused for the next frame. When
+// the buffer is at DeferMax the oldest parked frame is shed as a net
+// drop, so a hook that never accepts degrades to V1 dropping.
+func (n *Node) park(from types.ProcessID, session string, payload []byte) {
+	n.mu.Lock()
+	if len(n.deferred) >= n.cfg.DeferMax {
+		n.deferred = n.deferred[1:]
+		if n.cfg.Recorder != nil {
+			n.cfg.Recorder.RecordNetDrop()
+		}
+	}
+	n.deferred = append(n.deferred, parkedFrame{
+		from:    from,
+		session: session,
+		payload: append([]byte(nil), payload...),
+	})
+	n.mu.Unlock()
+}
+
+// collectInbox takes this tick's inbox, first re-offering every parked
+// frame to the session hook: accepted frames decode and deliver ahead of
+// the tick's fresh arrivals (they are older), dropped ones shed, and
+// still-deferred ones stay parked for the next tick.
+func (n *Node) collectInbox() []proto.Incoming {
+	n.mu.Lock()
+	inbox := n.inbox
+	n.inbox = nil
+	parked := n.deferred
+	n.deferred = nil
+	n.mu.Unlock()
+	if len(parked) == 0 {
+		return inbox
+	}
+	var accepted []proto.Incoming
+	keep := parked[:0]
+	for _, p := range parked {
+		switch n.sessionVerdict(p.from, p.session) {
+		case SessionDrop:
+			if n.cfg.Recorder != nil {
+				n.cfg.Recorder.RecordNetDrop()
+			}
+		case SessionDefer:
+			keep = append(keep, p)
+		default:
+			payload, err := n.cfg.Registry.DecodePayload(p.payload)
+			if err != nil {
+				n.logf("bad deferred payload from %v: %v", p.from, err)
+				continue
+			}
+			accepted = append(accepted, proto.Incoming{From: p.from, Session: p.session, Payload: payload})
+		}
+	}
+	if len(keep) > 0 {
+		n.mu.Lock()
+		// Frames parked by readers since the swap above arrived later —
+		// they go behind the survivors to preserve arrival order.
+		n.deferred = append(keep, n.deferred...)
+		n.mu.Unlock()
+	}
+	if len(accepted) == 0 {
+		return inbox
+	}
+	return append(accepted, inbox...)
 }
 
 // payloadKey identifies one boxed payload instance: the interface's type

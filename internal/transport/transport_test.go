@@ -597,3 +597,134 @@ func TestSessionHookFiltersFrames(t *testing.T) {
 		t.Errorf("NetDrops = %d, hook dropped %d", got, drops)
 	}
 }
+
+// earlySender broadcasts one frame per tick on the "early" session for
+// the first stretch of the run, then finishes.
+type earlySender struct {
+	params types.Params
+	now    types.Tick
+}
+
+func (s *earlySender) Begin(types.Tick) []proto.Outgoing { return nil }
+func (s *earlySender) Tick(now types.Tick, _ []proto.Incoming) []proto.Outgoing {
+	s.now = now
+	if now > 40 {
+		return nil
+	}
+	return proto.Broadcast(s.params, "early", bb.HelpReq{Phase: 2})
+}
+func (s *earlySender) Output() (types.Value, bool) {
+	if s.Done() {
+		return types.Value("sent"), true
+	}
+	return nil, false
+}
+func (s *earlySender) Done() bool { return s.now > 60 }
+
+// earlyReceiver counts delivered "early" frames and finishes once it has
+// seen some (or gives up late).
+type earlyReceiver struct {
+	got int
+	now types.Tick
+}
+
+func (r *earlyReceiver) Begin(types.Tick) []proto.Outgoing { return nil }
+func (r *earlyReceiver) Tick(now types.Tick, inbox []proto.Incoming) []proto.Outgoing {
+	r.now = now
+	for _, in := range inbox {
+		if head, _ := proto.SplitSession(in.Session); head == "early" {
+			r.got++
+		}
+	}
+	return nil
+}
+func (r *earlyReceiver) Output() (types.Value, bool) {
+	if r.Done() {
+		return types.Value("got"), true
+	}
+	return nil, false
+}
+func (r *earlyReceiver) Done() bool { return r.now > 60 }
+
+// TestSessionHookV2DefersFrames pins the tri-state hook: frames for a
+// session the host has not admitted yet are parked undecoded and
+// delivered once the hook starts accepting — never silently dropped, as
+// the boolean V1 hook would have done.
+func TestSessionHookV2DefersFrames(t *testing.T) {
+	crypto, params := setup(t, 3)
+	addrs := freeAddrs(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var hookMu sync.Mutex
+	var deferrals int64
+	receiver := &earlyReceiver{}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for i := 0; i < params.N; i++ {
+		id := types.ProcessID(i)
+		cfg := Config{
+			Params:       params,
+			Crypto:       crypto,
+			ID:           id,
+			Addrs:        addrs,
+			Registry:     NewFullRegistry(),
+			TickInterval: 10 * time.Millisecond,
+		}
+		var m proto.Machine
+		if id == 1 {
+			m = &earlySender{params: params}
+		} else {
+			m = &earlyReceiver{}
+		}
+		if id == 0 {
+			m = receiver
+			// Treat "early" as not-yet-admitted for its first offers, then
+			// admit it — the decision-driven scheduler's admission pattern.
+			cfg.SessionHookV2 = func(from types.ProcessID, session string) SessionVerdict {
+				if head, _ := proto.SplitSession(session); head != "early" {
+					return SessionAccept
+				}
+				hookMu.Lock()
+				defer hookMu.Unlock()
+				if deferrals < 10 {
+					deferrals++
+					return SessionDefer
+				}
+				return SessionAccept
+			}
+		}
+		node, err := NewNode(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := node.Run(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("node %v: %w", id, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+
+	hookMu.Lock()
+	d := deferrals
+	hookMu.Unlock()
+	if d == 0 {
+		t.Error("hook never deferred a frame")
+	}
+	if receiver.got == 0 {
+		t.Error("deferred frames were never delivered after admission")
+	}
+}

@@ -50,6 +50,34 @@ func WithThreshold(t int) Option { return func(o *Options) { o.Threshold = t } }
 // at every window size; only wall time and tick count change.
 func WithInflight(w int) Option { return func(o *Options) { o.Inflight = w } }
 
+// Scheduler selects the session admission/retirement policy of a
+// multi-session run (RunMany, the replicated log). It re-exports
+// engine.Scheduler; the two policies are Static and Eager.
+type Scheduler = engine.Scheduler
+
+// Scheduling policies.
+var (
+	// Static is the stride schedule (the default): session k starts at
+	// tick k·ceil(D/W) and holds its slot for the full worst-case
+	// duration D regardless of when it decides.
+	Static = engine.Static
+	// Eager retires a session the tick after it decides and admits the
+	// next queued session into the freed slot immediately; ACS sessions
+	// additionally start each subset vote as soon as the corresponding
+	// broadcast delivers (early-stopping vote boundary). Decisions,
+	// words, and messages are byte-identical to Static — only the
+	// schedule, and hence the tick count, changes.
+	Eager = engine.Eager
+)
+
+// WithScheduler selects the session scheduling policy of a
+// multi-session run (Static or Eager; the default is Static).
+func WithScheduler(s Scheduler) Option { return func(o *Options) { o.Sched = s } }
+
+// WithEager is shorthand for WithScheduler(Eager): decision-driven
+// session retirement and the early-stopping ACS vote boundary.
+func WithEager() Option { return func(o *Options) { o.Sched = Eager } }
+
 // sentinel is a typed API error chained onto the broad legacy class, so
 // errors.Is matches both the precise identity (ErrBadN) and the legacy
 // one (ErrOptions) that existing callers test for.
@@ -292,7 +320,7 @@ func RunMany(ctx context.Context, reqs ...Request) ([]*Result, error) {
 		N: n, T: merged.Threshold, F: merged.Faults, LeaderFault: leader,
 		Inflight: merged.Inflight, Seed: merged.Seed,
 		Ed25519: merged.RealSignatures, Trace: merged.Trace,
-		Halt: haltFrom(ctx),
+		Halt: haltFrom(ctx), Scheduler: merged.Sched,
 	}, ereqs)
 	if err != nil {
 		return nil, mapCanceled(ctx, err)
