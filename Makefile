@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-json bench-sim-json bench-net-json bench-engine-json bench-acs-json bench-admit-json bench-explore-json bench-scale-json bench-all profile explore chaos-smoke experiments examples fuzz cover clean
+.PHONY: all build test test-short test-race vet bench bench-json bench-sim-json bench-net-json bench-engine-json bench-acs-json bench-admit-json bench-explore-json bench-scale-json bench-svc-json bench-all profile explore chaos-smoke svc-smoke experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -92,10 +92,19 @@ bench-explore-json:
 bench-scale-json:
 	$(GO) run ./cmd/adaptiveba-bench -bench-scale-json BENCH_scale.json
 
+# Regenerate the replicated-KV-service baseline (BENCH_svc.json):
+# requests/sec and words/request over a live server+client loopback
+# session at payload sizes 16B..32KiB, anchored (triangle architecture:
+# only the 32-byte digest enters agreement) vs inline (the payload rides
+# the committed command). Anchored wire-words/request must stay within a
+# constant factor of the small-value baseline; inline grows linearly.
+bench-svc-json:
+	$(GO) run ./cmd/adaptiveba-bench -bench-svc-json BENCH_svc.json
+
 # Run every bench-*-json mode, then sweep the regenerated reports'
 # determinism flags in one pass: any decisions_identical=false or
 # csv_identical=false fails the target.
-bench-all: bench-json bench-sim-json bench-net-json bench-engine-json bench-acs-json bench-admit-json bench-explore-json bench-scale-json
+bench-all: bench-json bench-sim-json bench-net-json bench-engine-json bench-acs-json bench-admit-json bench-explore-json bench-scale-json bench-svc-json
 	@echo "— determinism flags across BENCH_*.json —"
 	@grep -c '"decisions_identical": true\|"csv_identical": true' BENCH_*.json || true
 	@if grep -l '"decisions_identical": false\|"csv_identical": false' BENCH_*.json; then \
@@ -121,6 +130,13 @@ chaos-smoke:
 	$(GO) run ./cmd/adaptiveba-cluster -protocol wba -n 5 -tick 40ms \
 		-chaos-seed 42 -chaos-drop 0.05 -chaos-delay 0.2 -chaos-flap-every 7
 
+# The replicated KV service under the race detector: server + two
+# concurrent client sessions over loopback, mixed inline/anchored
+# payloads, a snapshot mid-run, and a tamper-evidence walk at exit.
+svc-smoke:
+	$(GO) run -race ./cmd/adaptiveba-server -smoke
+	$(GO) test -race ./internal/service -count=1
+
 # Regenerate every table/figure of the paper (EXPERIMENTS.md data).
 experiments:
 	$(GO) run ./cmd/adaptiveba-bench -all
@@ -143,6 +159,9 @@ fuzz:
 	$(GO) test ./internal/transport -fuzz FuzzReadFrame$$ -fuzztime 30s
 	$(GO) test ./internal/transport -fuzz FuzzReadFrameRoundTrip -fuzztime 30s
 	$(GO) test ./internal/explore -fuzz FuzzScheduleGenome -fuzztime 30s
+	$(GO) test ./internal/service -fuzz FuzzDecodeRequest -fuzztime 30s
+	$(GO) test ./internal/service -fuzz FuzzDecodeResponse -fuzztime 30s
+	$(GO) test ./internal/service -fuzz FuzzDecodeAuditLog -fuzztime 30s
 
 cover:
 	$(GO) test ./... -coverprofile=cover.out

@@ -123,8 +123,9 @@ var (
 // sender stays correct, the decision is value at every correct process;
 // with a corrupted sender the decision is some common value or ⊥.
 //
-// Prefer BroadcastContext, which adds cancellation and functional
-// options; this struct form is kept for existing callers.
+// Deprecated: Use BroadcastContext, which adds cancellation and
+// functional options; this struct form is kept for existing callers
+// and pinned byte-identical by TestAPIParityBroadcast.
 func Broadcast(opts Options, value []byte) (*Result, error) {
 	return broadcastRun(opts, nil, value)
 }
@@ -146,8 +147,9 @@ func broadcastRun(opts Options, halt func(types.Tick) bool, value []byte) (*Resu
 // Unique validity guarantees the decision satisfies the predicate or is ⊥,
 // and ⊥ only when several valid values existed in the run.
 //
-// Prefer WeakAgreeContext, which adds cancellation and functional
-// options; this struct form is kept for existing callers.
+// Deprecated: Use WeakAgreeContext, which adds cancellation and
+// functional options; this struct form is kept for existing callers
+// and pinned byte-identical by TestAPIParityWeakAgree.
 func WeakAgree(opts Options, inputs [][]byte, predicate func([]byte) bool) (*Result, error) {
 	return weakAgreeRun(opts, nil, inputs, predicate)
 }
@@ -179,8 +181,9 @@ func weakAgreeRun(opts Options, halt func(types.Tick) bool, inputs [][]byte, pre
 // process i's bit. If all correct processes propose the same bit, that
 // bit is the decision; the cost is O(n) words when no process fails.
 //
-// Prefer StrongAgreeBinaryContext, which adds cancellation and
-// functional options; this struct form is kept for existing callers.
+// Deprecated: Use StrongAgreeBinaryContext, which adds cancellation
+// and functional options; this struct form is kept for existing
+// callers and pinned byte-identical by TestAPIParityStrongAgreeBinary.
 func StrongAgreeBinary(opts Options, inputs []bool) (*Result, error) {
 	return strongAgreeBinaryRun(opts, nil, inputs)
 }
@@ -209,8 +212,9 @@ func strongAgreeBinaryRun(opts Options, halt func(types.Tick) bool, inputs []boo
 // run directly, provided for completeness of the problem family (the
 // paper's Table 1 cites Momose–Ren for this row).
 //
-// Prefer StrongAgreeContext, which adds cancellation and functional
-// options; this struct form is kept for existing callers.
+// Deprecated: Use StrongAgreeContext, which adds cancellation and
+// functional options; this struct form is kept for existing callers
+// and pinned byte-identical by TestAPIParityStrongAgree.
 func StrongAgree(opts Options, inputs [][]byte) (*Result, error) {
 	return strongAgreeRun(opts, nil, inputs)
 }

@@ -1,0 +1,193 @@
+// Service benchmark (-bench-svc-json): requests/sec and words/request
+// through the replicated KV service as payload size grows, anchored
+// (triangle architecture: only the 32-byte digest enters agreement)
+// against inline (the full payload rides the committed command). The
+// report is the PR's acceptance artifact: anchored words/request must
+// stay within a constant factor of the small-value baseline while
+// inline grows linearly with the payload.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"adaptiveba"
+)
+
+// svcCell is one (payload size, value placement) measurement.
+type svcCell struct {
+	PayloadBytes int     `json:"payload_bytes"`
+	Mode         string  `json:"mode"` // inline | anchored
+	Requests     int     `json:"requests"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	ReqPerSec    float64 `json:"req_per_sec"`
+	Rounds       int     `json:"rounds"`
+	// Words is the paper's metric (each value weighs one word regardless
+	// of size); WireWords is the metered payload bytes divided by the
+	// 8-byte word size — the number that exposes inline's linear growth.
+	Words               int64   `json:"words"`
+	WordsPerRequest     float64 `json:"words_per_request"`
+	WireBytes           int64   `json:"wire_bytes"`
+	WireWordsPerRequest float64 `json:"wire_words_per_request"`
+	Blobs               int     `json:"blobs"`
+}
+
+// svcBench is the full report written by -bench-svc-json.
+type svcBench struct {
+	Sizes      []int    `json:"payload_sizes"`
+	Requests   int      `json:"requests_per_cell"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Host       hostMeta `json:"host"`
+
+	Cells []svcCell `json:"cells"`
+
+	// AnchoredLargeOverSmall is the acceptance ratio: anchored
+	// wire-words/request at the largest payload over the smallest —
+	// near 1 when the triangle architecture holds (only digests travel).
+	AnchoredLargeOverSmall float64 `json:"anchored_large_over_small_wire_words"`
+	// InlineLargeOverSmall is the same ratio for inline commits — large,
+	// since the whole payload rides through agreement.
+	InlineLargeOverSmall float64 `json:"inline_large_over_small_wire_words"`
+}
+
+// runBenchSvcJSON measures every (size, mode) cell over a live
+// server+client loopback session and writes the report to path.
+func runBenchSvcJSON(out io.Writer, path string, sizes []int, requests int) error {
+	rep := svcBench{
+		Sizes:      sizes,
+		Requests:   requests,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       newHostMeta(),
+	}
+	scratch, err := os.MkdirTemp("", "adaptiveba-bench-svc-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+
+	for _, size := range sizes {
+		for _, mode := range []string{"inline", "anchored"} {
+			cell, err := runSvcCell(filepath.Join(scratch, fmt.Sprintf("%s-%d", mode, size)),
+				size, mode, requests)
+			if err != nil {
+				return fmt.Errorf("cell %s/%dB: %w", mode, size, err)
+			}
+			rep.Cells = append(rep.Cells, cell)
+			fmt.Fprintf(out, "bench-svc: %-8s %6dB  %7.1f req/s  %7.1f wire-words/req  (%d rounds)\n",
+				cell.Mode, cell.PayloadBytes, cell.ReqPerSec, cell.WireWordsPerRequest, cell.Rounds)
+		}
+	}
+
+	small, large := sizes[0], sizes[len(sizes)-1]
+	ratio := func(mode string) float64 {
+		var s, l float64
+		for _, c := range rep.Cells {
+			if c.Mode != mode {
+				continue
+			}
+			if c.PayloadBytes == small {
+				s = c.WireWordsPerRequest
+			}
+			if c.PayloadBytes == large {
+				l = c.WireWordsPerRequest
+			}
+		}
+		if s == 0 {
+			return 0
+		}
+		return l / s
+	}
+	rep.AnchoredLargeOverSmall = ratio("anchored")
+	rep.InlineLargeOverSmall = ratio("inline")
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bench-svc: anchored %dB costs %.2fx the %dB baseline (inline: %.2fx)\n",
+		large, rep.AnchoredLargeOverSmall, small, rep.InlineLargeOverSmall)
+	fmt.Fprintf(out, "  wrote %s\n", path)
+	return nil
+}
+
+// runSvcCell stands up a fresh service, drives `requests` puts of
+// size-byte payloads through one loopback client, and reads the cost
+// counters back.
+func runSvcCell(dir string, size int, mode string, requests int) (svcCell, error) {
+	// Placement is forced by the inline threshold: "anchored" puts every
+	// payload above it, "inline" keeps every payload below it.
+	inlineMax := 1
+	if mode == "inline" {
+		inlineMax = size + 1
+	}
+	ctx := context.Background()
+	svc, err := adaptiveba.ServeContext(ctx, "127.0.0.1:0",
+		adaptiveba.WithBlobDir(dir),
+		adaptiveba.WithInlineMax(inlineMax),
+		adaptiveba.WithMeasuredBytes(),
+		adaptiveba.WithServeSeed(7),
+	)
+	if err != nil {
+		return svcCell{}, err
+	}
+	defer svc.Close()
+	c, err := adaptiveba.DialContext(ctx, svc.Addr())
+	if err != nil {
+		return svcCell{}, err
+	}
+	defer c.Close()
+
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		key := []byte(fmt.Sprintf("k%04d", i))
+		// Vary one byte so anchored cells store distinct blobs rather than
+		// deduplicating into a single ref.
+		payload[0] = byte(i)
+		if err := c.Put(ctx, key, payload); err != nil {
+			return svcCell{}, err
+		}
+	}
+	// A read barrier flushes any buffered writes before we sample stats.
+	if _, err := c.Get(ctx, []byte("k0000")); err != nil {
+		return svcCell{}, err
+	}
+	wall := time.Since(start)
+
+	rep, err := c.Verify(ctx)
+	if err != nil || !rep.OK() {
+		return svcCell{}, fmt.Errorf("post-run verify failed: %v", err)
+	}
+	st := svc.Stats()
+	cell := svcCell{
+		PayloadBytes: size,
+		Mode:         mode,
+		Requests:     requests,
+		WallSeconds:  wall.Seconds(),
+		Rounds:       st.Rounds,
+		Words:        st.Words,
+		WireBytes:    st.Bytes,
+		Blobs:        rep.Blobs,
+	}
+	if wall > 0 {
+		cell.ReqPerSec = float64(requests) / wall.Seconds()
+	}
+	if requests > 0 {
+		cell.WordsPerRequest = float64(st.Words) / float64(requests)
+		cell.WireWordsPerRequest = float64(st.Bytes) / 8 / float64(requests)
+	}
+	return cell, nil
+}

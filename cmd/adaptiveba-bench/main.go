@@ -58,6 +58,9 @@ func run(args []string, out io.Writer) error {
 		benchExp   = fs.String("bench-explore-json", "", "run the adversarial schedule search over the full (n, 0..t) grid, write worst-words-vs-envelope to this path")
 		benchScale = fs.String("bench-scale-json", "", "sweep the large-n grid (adaptive BB vs committee sampling vs floodset over n ∈ -scale-ns × f ∈ {0,1,√n,t}), write a machine-readable report to this path")
 		scaleNs    = fs.String("scale-ns", "64,256,1024,4096", "scale sweep: n values (comma-separated)")
+		benchSvc   = fs.String("bench-svc-json", "", "measure the replicated KV service (req/s and words/request, anchored vs inline, over -svc-sizes), write a machine-readable report to this path")
+		svcSizes   = fs.String("svc-sizes", "16,256,4096,32768", "service bench: payload sizes in bytes (comma-separated, ascending)")
+		svcReqs    = fs.Int("svc-requests", 24, "service bench: requests per cell")
 		expSeed    = fs.Int64("seed", 1, "explore sweep: search seed (whole report is a pure function of it)")
 		expGens    = fs.Int("generations", 3, "explore sweep: generations per grid point")
 		expPop     = fs.Int("population", 6, "explore sweep: population per generation")
@@ -238,6 +241,16 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-scale-ns: %w", err)
 		}
 		return runBenchScaleJSON(out, *benchScale, ns)
+	}
+	if *benchSvc != "" {
+		sizes, err := parseInts(*svcSizes)
+		if err != nil {
+			return fmt.Errorf("-svc-sizes: %w", err)
+		}
+		if *svcReqs < 1 {
+			return fmt.Errorf("-svc-requests: need at least 1")
+		}
+		return runBenchSvcJSON(out, *benchSvc, sizes, *svcReqs)
 	}
 	switch {
 	case *list:

@@ -244,3 +244,49 @@ func TestBadCertMode(t *testing.T) {
 		t.Error("bogus certmode accepted")
 	}
 }
+
+func TestBenchSvcJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench_svc.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-bench-svc-json", path, "-svc-sizes", "16,2048", "-svc-requests", "4",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep svcBench
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Cells) != 4 { // 2 sizes × {inline, anchored}
+		t.Fatalf("got %d cells, want 4", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Requests != 4 || c.ReqPerSec <= 0 || c.WireWordsPerRequest <= 0 {
+			t.Errorf("degenerate cell: %+v", c)
+		}
+	}
+	// The acceptance property: anchored cost is payload-size-independent,
+	// inline grows with the payload.
+	if rep.AnchoredLargeOverSmall <= 0 || rep.AnchoredLargeOverSmall > 2 {
+		t.Errorf("anchored large/small ratio %.2f not within constant factor", rep.AnchoredLargeOverSmall)
+	}
+	if rep.InlineLargeOverSmall <= rep.AnchoredLargeOverSmall {
+		t.Errorf("inline ratio %.2f not above anchored %.2f",
+			rep.InlineLargeOverSmall, rep.AnchoredLargeOverSmall)
+	}
+}
+
+func TestBenchSvcBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bench-svc-json", "x.json", "-svc-sizes", "nope"}, &out); err == nil {
+		t.Error("bad -svc-sizes accepted")
+	}
+	if err := run([]string{"-bench-svc-json", "x.json", "-svc-requests", "0"}, &out); err == nil {
+		t.Error("zero -svc-requests accepted")
+	}
+}

@@ -2,16 +2,28 @@ package adaptiveba_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"os"
 
 	"adaptiveba"
 )
 
+// mustTempDir makes a scratch directory for the service example's blob
+// store (examples have no testing.T to clean up with).
+func mustTempDir() string {
+	dir, err := os.MkdirTemp("", "adaptiveba-example-")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
 // The simplest use: a designated sender broadcasts a value to n processes
 // with Byzantine fault tolerance. In failure-free runs this costs O(n)
 // words — not the classic Θ(n²).
-func ExampleBroadcast() {
-	res, err := adaptiveba.Broadcast(adaptiveba.Options{N: 9}, []byte("block #1"))
+func ExampleBroadcastContext() {
+	res, err := adaptiveba.BroadcastContext(context.Background(), 9, []byte("block #1"))
 	if err != nil {
 		panic(err)
 	}
@@ -22,8 +34,9 @@ func ExampleBroadcast() {
 
 // Broadcast tolerates up to t = (n-1)/2 corrupted processes; here two
 // processes crash and validity still holds.
-func ExampleBroadcast_withFaults() {
-	res, err := adaptiveba.Broadcast(adaptiveba.Options{N: 9, Faults: 2}, []byte("v"))
+func ExampleBroadcastContext_withFaults() {
+	res, err := adaptiveba.BroadcastContext(context.Background(), 9, []byte("v"),
+		adaptiveba.WithFaults(2))
 	if err != nil {
 		panic(err)
 	}
@@ -36,13 +49,13 @@ func ExampleBroadcast_withFaults() {
 // predicate (unique validity): every process proposes, and the decision
 // is one of the valid proposals, or ⊥ only if several valid values
 // circulated.
-func ExampleWeakAgree() {
+func ExampleWeakAgreeContext() {
 	inputs := [][]byte{
 		[]byte("tx:a"), []byte("tx:a"), []byte("tx:a"),
 		[]byte("tx:a"), []byte("tx:a"),
 	}
 	isTx := func(v []byte) bool { return bytes.HasPrefix(v, []byte("tx:")) }
-	res, err := adaptiveba.WeakAgree(adaptiveba.Options{N: 5}, inputs, isTx)
+	res, err := adaptiveba.WeakAgreeContext(context.Background(), 5, inputs, isTx)
 	if err != nil {
 		panic(err)
 	}
@@ -53,9 +66,9 @@ func ExampleWeakAgree() {
 
 // Binary strong BA guarantees strong unanimity: if every correct process
 // proposes the same bit, that bit wins — at O(n) words when failure-free.
-func ExampleStrongAgreeBinary() {
+func ExampleStrongAgreeBinaryContext() {
 	inputs := []bool{true, true, true, true, true, true, true, true, true}
-	res, err := adaptiveba.StrongAgreeBinary(adaptiveba.Options{N: 9}, inputs)
+	res, err := adaptiveba.StrongAgreeBinaryContext(context.Background(), 9, inputs)
 	if err != nil {
 		panic(err)
 	}
@@ -65,15 +78,16 @@ func ExampleStrongAgreeBinary() {
 	// bit=true ok=true
 }
 
-// ReplicateLog turns the broadcast into a totally-ordered replicated log:
-// one slot per adaptive Byzantine Broadcast, rotating proposers.
-func ExampleReplicateLog() {
+// ReplicateLogContext turns the broadcast into a totally-ordered
+// replicated log: one slot per adaptive Byzantine Broadcast, rotating
+// proposers.
+func ExampleReplicateLogContext() {
 	queues := [][][]byte{
 		{[]byte("SET a=1")},
 		{[]byte("SET b=2")},
 		{[]byte("SET c=3")},
 	}
-	res, err := adaptiveba.ReplicateLog(adaptiveba.Options{N: 3}, queues, 3)
+	res, err := adaptiveba.ReplicateLogContext(context.Background(), 3, queues, 3)
 	if err != nil {
 		panic(err)
 	}
@@ -86,19 +100,59 @@ func ExampleReplicateLog() {
 	// slot 2: SET c=3
 }
 
-// AgreeStrong is the multivalued strong agreement (the non-adaptive
-// fallback run directly): if every correct process proposes the same
-// value, it wins.
-func ExampleAgreeStrong() {
+// StrongAgreeContext is the multivalued strong agreement (the
+// non-adaptive fallback run directly): if every correct process
+// proposes the same value, it wins.
+func ExampleStrongAgreeContext() {
 	inputs := [][]byte{
 		[]byte("state-root-9c"), []byte("state-root-9c"), []byte("state-root-9c"),
 		[]byte("state-root-9c"), []byte("state-root-9c"),
 	}
-	res, err := adaptiveba.AgreeStrong(adaptiveba.Options{N: 5, Faults: 1}, inputs)
+	res, err := adaptiveba.StrongAgreeContext(context.Background(), 5, inputs,
+		adaptiveba.WithFaults(1))
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("decision=%s\n", res.Decision)
 	// Output:
 	// decision=state-root-9c
+}
+
+// The replicated KV service: writes commit through batched agreement
+// rounds, large values are anchored through the content-addressed blob
+// store (only their 32-byte digests enter agreement), and Verify walks
+// the tamper-evident audit chain end to end.
+func ExampleServeContext() {
+	ctx := context.Background()
+	dir := mustTempDir()
+	svc, err := adaptiveba.ServeContext(ctx, "127.0.0.1:0",
+		adaptiveba.WithBlobDir(dir), adaptiveba.WithInlineMax(64))
+	if err != nil {
+		panic(err)
+	}
+	defer svc.Close()
+
+	c, err := adaptiveba.DialContext(ctx, svc.Addr())
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	if err := c.Put(ctx, []byte("config"), []byte("v1")); err != nil {
+		panic(err)
+	}
+	if err := c.Put(ctx, []byte("payload"), bytes.Repeat([]byte("x"), 1000)); err != nil {
+		panic(err)
+	}
+	v, err := c.Get(ctx, []byte("config"))
+	if err != nil {
+		panic(err)
+	}
+	rep, err := c.Verify(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("config=%s verified=%v anchored-blobs=%d\n", v, rep.OK(), rep.Blobs)
+	// Output:
+	// config=v1 verified=true anchored-blobs=1
 }

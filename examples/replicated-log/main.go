@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,8 @@ func main() {
 	}
 
 	run := func(faults int) {
-		res, err := adaptiveba.ReplicateLog(adaptiveba.Options{N: n, Faults: faults}, queues, slots)
+		res, err := adaptiveba.ReplicateLogContext(context.Background(), n, queues, slots,
+			adaptiveba.WithFaults(faults))
 		if err != nil {
 			log.Fatal(err)
 		}

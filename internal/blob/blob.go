@@ -1,0 +1,166 @@
+// Package blob is a content-addressed local blob store: the off-chain
+// corner of the triangle architecture. Payloads live on the local disk
+// keyed by their SHA-256 digest; agreement commits only the 32-byte
+// anchor (plus a hash-chained audit entry, see internal/service), so the
+// per-request word cost through the protocol stack is a constant number
+// of digest words regardless of payload size.
+//
+// Durability follows the write-then-rename discipline: a payload is
+// written to a temp file, fsync'd, and renamed to its content address,
+// so a crash never leaves a partially written blob under a valid key.
+// Reads re-hash the payload before returning it — a flipped byte on disk
+// surfaces as ErrTampered, never as silently corrupt data.
+package blob
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Ref is a content address: the SHA-256 digest of the payload.
+type Ref [32]byte
+
+// String returns the hex form of the ref (also its on-disk file name).
+func (r Ref) String() string { return hex.EncodeToString(r[:]) }
+
+// ParseRef parses the hex form produced by Ref.String.
+func ParseRef(s string) (Ref, error) {
+	var r Ref
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(r) {
+		return r, fmt.Errorf("blob: bad ref %q", s)
+	}
+	copy(r[:], b)
+	return r, nil
+}
+
+// Sum returns the content address of a payload without storing it.
+func Sum(data []byte) Ref { return Ref(sha256.Sum256(data)) }
+
+var (
+	// ErrNotFound reports a ref with no stored payload.
+	ErrNotFound = errors.New("blob: not found")
+	// ErrTampered reports a stored payload whose bytes no longer hash to
+	// its content address.
+	ErrTampered = errors.New("blob: content does not match ref")
+)
+
+// Store is a content-addressed blob store rooted at one directory.
+// Methods are safe for concurrent use by multiple goroutines only in the
+// trivial sense that content addressing makes concurrent Puts of the
+// same payload idempotent; callers that share a Store across goroutines
+// should serialize externally (internal/service does).
+type Store struct {
+	dir string
+	seq int // temp-file counter, keeps names unique within the process
+}
+
+// Open opens (creating if needed) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blob: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(r Ref) string { return filepath.Join(s.dir, r.String()) }
+
+// Put stores a payload and returns its content address. Storing the same
+// bytes twice is free: the existing blob is kept. New blobs are written
+// to a temp file, fsync'd, and renamed into place.
+func (s *Store) Put(data []byte) (Ref, error) {
+	r := Sum(data)
+	if _, err := os.Stat(s.path(r)); err == nil {
+		return r, nil // dedup: content already stored
+	}
+	s.seq++
+	tmp := filepath.Join(s.dir, fmt.Sprintf(".tmp-%d-%d", os.Getpid(), s.seq))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return r, fmt.Errorf("blob: put: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	} else {
+		f.Close()
+		os.Remove(tmp)
+		return r, fmt.Errorf("blob: put: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return r, fmt.Errorf("blob: put: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(r)); err != nil {
+		os.Remove(tmp)
+		return r, fmt.Errorf("blob: put: %w", err)
+	}
+	return r, nil
+}
+
+// Get reads a payload back by ref, re-verifying the content address
+// before returning. A missing blob is ErrNotFound; a blob whose bytes
+// have changed on disk is ErrTampered.
+func (s *Store) Get(r Ref) ([]byte, error) {
+	data, err := os.ReadFile(s.path(r))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, r)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("blob: get %s: %w", r, err)
+	}
+	if Sum(data) != r {
+		return nil, fmt.Errorf("%w: %s", ErrTampered, r)
+	}
+	return data, nil
+}
+
+// Verify checks one stored blob against its content address without
+// returning the payload.
+func (s *Store) Verify(r Ref) error {
+	_, err := s.Get(r)
+	return err
+}
+
+// Refs lists every stored content address in sorted order, skipping
+// temp files and anything that does not parse as a ref.
+func (s *Store) Refs() ([]Ref, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("blob: list: %w", err)
+	}
+	var refs []Ref
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		r, err := ParseRef(e.Name())
+		if err != nil {
+			continue
+		}
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].String() < refs[j].String() })
+	return refs, nil
+}
+
+// VerifyAll checks every stored blob, returning the refs that failed.
+func (s *Store) VerifyAll() (bad []Ref, err error) {
+	refs, err := s.Refs()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range refs {
+		if s.Verify(r) != nil {
+			bad = append(bad, r)
+		}
+	}
+	return bad, nil
+}

@@ -1,0 +1,140 @@
+package blob
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("the quick brown fox")
+	ref, err := s.Put(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != Sum(payload) {
+		t.Fatalf("ref mismatch: %s vs %s", ref, Sum(payload))
+	}
+	got, err := s.Get(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+	if err := s.Verify(ref); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutDedup(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.Put([]byte("same"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Put([]byte("same"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("dedup refs differ: %s vs %s", r1, r2)
+	}
+	refs, err := s.Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 {
+		t.Fatalf("want 1 stored blob, got %d", len(refs))
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Get(Sum([]byte("never stored")))
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestTamperedBlobDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s.Put([]byte("payload to corrupt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte of the stored file.
+	path := filepath.Join(dir, ref.String())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[3] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ref); !errors.Is(err, ErrTampered) {
+		t.Fatalf("want ErrTampered, got %v", err)
+	}
+	bad, err := s.VerifyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || bad[0] != ref {
+		t.Fatalf("VerifyAll missed the tampered blob: %v", bad)
+	}
+}
+
+func TestRefParseRoundTrip(t *testing.T) {
+	ref := Sum([]byte("abc"))
+	back, err := ParseRef(ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != ref {
+		t.Fatalf("parse round trip mismatch")
+	}
+	if _, err := ParseRef("zz"); err == nil {
+		t.Fatal("want error for bad hex")
+	}
+	if _, err := ParseRef("abcd"); err == nil {
+		t.Fatal("want error for short ref")
+	}
+}
+
+func TestRefsSkipsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := s.Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 {
+		t.Fatalf("want 1 ref, got %d", len(refs))
+	}
+}

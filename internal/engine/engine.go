@@ -132,6 +132,12 @@ type Config struct {
 	// TickWorkers bounds the simulator's per-tick fan-out (0 = one per
 	// CPU, 1 = serial); output is byte-identical at any value.
 	TickWorkers int
+	// MeasureBytes additionally encodes every payload through the wire
+	// registry to count bytes on the wire (slower; off by default). The
+	// word metric weighs every value as one word regardless of size, so
+	// byte metering is what makes payload-size effects (inline values vs
+	// constant-size anchors) visible in Metrics.Honest.Bytes.
+	MeasureBytes bool
 	// Halt, if set, is polled every tick; returning true aborts the run
 	// with sim.ErrHalted (the cancellation hook for context callers).
 	Halt func(types.Tick) bool
@@ -368,10 +374,27 @@ func Run(cfg Config, reqs []Request) (*Report, error) {
 		adv = adversary.NewCrash(ids...)
 	}
 
+	var sizeOf func(proto.Payload) int
+	if cfg.MeasureBytes {
+		reg := wire.NewRegistry()
+		acs.RegisterWire(reg)
+		bb.RegisterWire(reg)
+		wba.RegisterWire(reg)
+		strongba.RegisterWire(reg)
+		sizeOf = func(p proto.Payload) int {
+			n, err := reg.SizeOf(p)
+			if err != nil {
+				return 0
+			}
+			return n
+		}
+	}
+
 	res, err := sim.Run(sim.Config{
 		Params:    params,
 		Crypto:    crypto,
 		Factory:   factory,
+		SizeOf:    sizeOf,
 		Adversary: adv,
 		MaxTicks:  maxTicks,
 		Recorder:  rec,

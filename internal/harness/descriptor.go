@@ -1,0 +1,159 @@
+// Workload descriptors: the composable replacement for filling all ~25
+// Spec fields by hand. A run is described by three orthogonal pieces —
+// WHAT runs (Workload), ON WHAT cluster (Deployment), and UNDER WHICH
+// failures (FaultPlan) — that compose into a Spec. The split is what
+// lets callers reuse one Workload across deployments (the service reuses
+// its ACS workload at several n), sweep fault plans against a fixed
+// workload, and share deployment shapes across experiments, without
+// copying 20 unrelated fields each time.
+//
+// Compose and Spec.Descriptors are exact inverses over the descriptor
+// fields, and RunWorkload(spec.Descriptors()) is byte-identical to
+// Run(spec) for every spec that carries no instrumentation — pinned by
+// the parity tests in descriptor_test.go. Instrumentation hooks (Trace,
+// Halt, OnSend, Monitor, MeasureBytes, CountOps, Sched) are deliberately
+// NOT descriptor fields: they observe a run rather than describe it, and
+// stay Spec-only — compose first, then attach instrumentation to the
+// returned Spec.
+package harness
+
+import (
+	"adaptiveba/internal/crypto/threshold"
+	"adaptiveba/internal/sim"
+	"adaptiveba/internal/types"
+)
+
+// Workload describes what is agreed on: the protocol, its inputs, and
+// its protocol-level knobs. A Workload is deployment-independent — the
+// same value runs at any n or fault count.
+type Workload struct {
+	// Protocol selects the algorithm under test (default ProtocolBB).
+	Protocol Protocol
+	// Inputs selects how process inputs are assigned (default
+	// InputsUnanimous).
+	Inputs Inputs
+	// Value is the unanimous input / BB broadcast value (default "v").
+	Value types.Value
+	// PerProcessInputs, when non-nil, assigns each process its own input
+	// and overrides Inputs/Value (length must equal the deployment's N).
+	PerProcessInputs []types.Value
+	// Batch is the per-proposer batch size for ProtocolACS (default 1).
+	Batch int
+	// Predicate overrides weak BA's validity predicate.
+	Predicate func(types.Value) bool
+	// Sender is the BB designated sender (default 0).
+	Sender types.ProcessID
+	// WBAPhases / BBPhases override phase counts (ablations).
+	WBAPhases int
+	BBPhases  int
+	// DisableSilentPhases removes the adaptivity mechanism (ablation).
+	DisableSilentPhases bool
+}
+
+// Deployment describes the cluster a workload runs on: its size, its
+// corruption budget, and the execution/crypto knobs that belong to the
+// machines rather than the protocol.
+type Deployment struct {
+	// N is the process count.
+	N int
+	// T overrides the corruption threshold (default floor((n-1)/2)).
+	T int
+	// F is the number of actually-faulty processes the fault plan may
+	// corrupt.
+	F int
+	// Seed drives randomized adversaries; ShuffleSeed permutes per-tick
+	// delivery order.
+	Seed        int64
+	ShuffleSeed int64
+	// CertMode selects the threshold-certificate encoding; Ed25519
+	// switches to real signatures.
+	CertMode threshold.Mode
+	Ed25519  bool
+	// NoVerifyCache disables the verification fast path (A/B runs).
+	NoVerifyCache bool
+	// CertWorkers / TickWorkers bound the crypto and tick fan-outs.
+	CertWorkers int
+	TickWorkers int
+}
+
+// FaultPlan describes how the deployment's F faulty processes
+// misbehave: a named pattern, or an arbitrary adversary factory.
+type FaultPlan struct {
+	// Pattern is the named failure pattern (default FaultCrash).
+	Pattern Fault
+	// Adversary, if set, overrides the pattern: invoked once per run
+	// with the tick budget, returning a fresh sim.Adversary (nil for a
+	// failure-free run). See Spec.Adversary.
+	Adversary func(maxTicks types.Tick) sim.Adversary
+}
+
+// Compose assembles the three descriptors into a Spec. Instrumentation
+// fields of the result are zero; attach them afterwards if needed.
+func Compose(w Workload, d Deployment, p FaultPlan) Spec {
+	return Spec{
+		Protocol:            w.Protocol,
+		Inputs:              w.Inputs,
+		Value:               w.Value,
+		PerProcessInputs:    w.PerProcessInputs,
+		Batch:               w.Batch,
+		Predicate:           w.Predicate,
+		Sender:              w.Sender,
+		WBAPhases:           w.WBAPhases,
+		BBPhases:            w.BBPhases,
+		DisableSilentPhases: w.DisableSilentPhases,
+
+		N:             d.N,
+		T:             d.T,
+		F:             d.F,
+		Seed:          d.Seed,
+		ShuffleSeed:   d.ShuffleSeed,
+		CertMode:      d.CertMode,
+		Ed25519:       d.Ed25519,
+		NoVerifyCache: d.NoVerifyCache,
+		CertWorkers:   d.CertWorkers,
+		TickWorkers:   d.TickWorkers,
+
+		Fault:     p.Pattern,
+		Adversary: p.Adversary,
+	}
+}
+
+// Descriptors decomposes a Spec back into its three descriptors —
+// the exact inverse of Compose over descriptor fields. Instrumentation
+// fields (Trace, Halt, OnSend, Monitor, MeasureBytes, CountOps, Sched)
+// are not carried; they stay with the Spec.
+func (s Spec) Descriptors() (Workload, Deployment, FaultPlan) {
+	return Workload{
+			Protocol:            s.Protocol,
+			Inputs:              s.Inputs,
+			Value:               s.Value,
+			PerProcessInputs:    s.PerProcessInputs,
+			Batch:               s.Batch,
+			Predicate:           s.Predicate,
+			Sender:              s.Sender,
+			WBAPhases:           s.WBAPhases,
+			BBPhases:            s.BBPhases,
+			DisableSilentPhases: s.DisableSilentPhases,
+		}, Deployment{
+			N:             s.N,
+			T:             s.T,
+			F:             s.F,
+			Seed:          s.Seed,
+			ShuffleSeed:   s.ShuffleSeed,
+			CertMode:      s.CertMode,
+			Ed25519:       s.Ed25519,
+			NoVerifyCache: s.NoVerifyCache,
+			CertWorkers:   s.CertWorkers,
+			TickWorkers:   s.TickWorkers,
+		}, FaultPlan{
+			Pattern:   s.Fault,
+			Adversary: s.Adversary,
+		}
+}
+
+// RunWorkload executes a composed run — the descriptor-first entry
+// point. Identical (byte-for-byte, including CSV output) to Run on the
+// composed Spec.
+func RunWorkload(w Workload, d Deployment, p FaultPlan) (*Outcome, error) {
+	return Run(Compose(w, d, p))
+}

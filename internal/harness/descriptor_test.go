@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"adaptiveba/internal/types"
+)
+
+// TestComposeDescriptorsRoundTrip: Descriptors ∘ Compose is the
+// identity on descriptor fields, and Compose ∘ Descriptors reproduces
+// the spec (instrumentation fields zeroed).
+func TestComposeDescriptorsRoundTrip(t *testing.T) {
+	spec := Spec{
+		Protocol: ProtocolACS, N: 7, T: 3, F: 2,
+		Fault: FaultCrashLeader, Inputs: InputsDistinct,
+		Value: types.Value("x"), Batch: 4, Sender: 2,
+		Seed: 9, ShuffleSeed: 11, Ed25519: true,
+		CertWorkers: 2, TickWorkers: 1,
+		WBAPhases: 3, BBPhases: 2, DisableSilentPhases: true,
+		NoVerifyCache: true,
+	}
+	w, d, p := spec.Descriptors()
+	back := Compose(w, d, p)
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("round trip diverged:\n spec %+v\n back %+v", spec, back)
+	}
+}
+
+// TestRunWorkloadParity: for a grid of protocol × fault × size cells,
+// RunWorkload on the decomposed spec emits a byte-identical CSV row to
+// Run on the flat spec — the descriptor API is a pure re-arrangement,
+// not a behavior change.
+func TestRunWorkloadParity(t *testing.T) {
+	cells := []Spec{
+		{Protocol: ProtocolBB, N: 5, F: 0},
+		{Protocol: ProtocolBB, N: 5, F: 2, Fault: FaultCrash},
+		{Protocol: ProtocolBB, N: 7, F: 2, Fault: FaultSpam, Seed: 3},
+		{Protocol: ProtocolWBA, N: 5, F: 1, Fault: FaultCrashLeader},
+		{Protocol: ProtocolWBA, N: 5, F: 2, Inputs: InputsDistinct},
+		{Protocol: ProtocolStrongBA, N: 5, F: 1, Fault: FaultStagger},
+		{Protocol: ProtocolACS, N: 5, F: 1, Batch: 3},
+		{Protocol: ProtocolDolevStrong, N: 5, F: 1},
+		{Protocol: ProtocolFallback, N: 5, F: 2, MeasureBytes: true},
+	}
+	for _, spec := range cells {
+		spec := spec
+		a, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%s n=%d f=%d: %v", spec.Protocol, spec.N, spec.F, err)
+		}
+		w, d, p := spec.Descriptors()
+		b, err := RunWorkload(w, d, p)
+		if err != nil {
+			t.Fatalf("%s descriptors: %v", spec.Protocol, err)
+		}
+		// MeasureBytes is instrumentation: it stays Spec-only, so carry it
+		// over explicitly for the cell that uses it.
+		if spec.MeasureBytes {
+			composed := Compose(w, d, p)
+			composed.MeasureBytes = true
+			b, err = Run(composed)
+			if err != nil {
+				t.Fatalf("%s composed: %v", spec.Protocol, err)
+			}
+		}
+		var bufA, bufB bytes.Buffer
+		if err := WriteCSV(&bufA, []Outcome{*a}); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCSV(&bufB, []Outcome{*b}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+			t.Errorf("%s n=%d f=%d fault=%s: CSV diverged\n run: %s\n desc: %s",
+				spec.Protocol, spec.N, spec.F, spec.Fault, bufA.String(), bufB.String())
+		}
+	}
+}
+
+// TestRunWorkloadDefaults: zero-valued descriptors inherit the same
+// defaults Run applies to a zero Spec.
+func TestRunWorkloadDefaults(t *testing.T) {
+	out, err := RunWorkload(Workload{Protocol: ProtocolBB}, Deployment{N: 5}, FaultPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Decided || !out.Agreement {
+		t.Fatalf("default workload did not decide: %+v", out)
+	}
+	if out.Spec.Fault != FaultCrash {
+		t.Fatalf("fault default not applied: %+v", out.Spec)
+	}
+}

@@ -26,11 +26,16 @@ import (
 
 	"adaptiveba/internal/smr"
 	"adaptiveba/internal/types"
+	"adaptiveba/internal/wire"
 )
 
 // ErrBadCommand reports a command the state machine rejects; rejection is
 // deterministic and identical on every replica.
 var ErrBadCommand = errors.New("kv: malformed command")
+
+// ErrSnapshotMismatch reports a snapshot whose embedded state hash does
+// not match the state it decodes to — a corrupted or tampered snapshot.
+var ErrSnapshotMismatch = errors.New("kv: snapshot state hash mismatch")
 
 // Store is the deterministic state machine.
 type Store struct {
@@ -112,6 +117,65 @@ func (s *Store) Snapshot() map[string]string {
 		out[k] = v
 	}
 	return out
+}
+
+// EncodeSnapshot serializes the store canonically (sorted keys, the
+// applied-entry count, and the state hash). A snapshot plus the log
+// suffix after Applied() reconstructs the exact store, which is what lets
+// a long-running service truncate its committed log: replaying the
+// suffix on top of the snapshot yields the same state hash as replaying
+// the full log from genesis.
+func (s *Store) EncodeSnapshot() []byte {
+	w := wire.NewWriter()
+	w.PutInt(s.applied)
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.PutInt(len(keys))
+	for _, k := range keys {
+		w.PutString(k)
+		w.PutString(s.data[k])
+	}
+	w.PutString(s.Hash())
+	return w.Bytes()
+}
+
+// DecodeSnapshot reconstructs a store from EncodeSnapshot output. The
+// embedded state hash is re-verified against the decoded state; any
+// corruption — hostile lengths, truncation, or a flipped byte that
+// changes a value — fails with ErrSnapshotMismatch or a wire error, never
+// a silently wrong store.
+func DecodeSnapshot(enc []byte) (*Store, error) {
+	r := wire.NewReader(enc)
+	applied := r.Int()
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if applied < 0 || n < 0 || n > wire.MaxChunk/8 {
+		return nil, fmt.Errorf("%w: implausible snapshot header (applied=%d keys=%d)",
+			ErrSnapshotMismatch, applied, n)
+	}
+	s := NewStore()
+	s.applied = applied
+	for i := 0; i < n; i++ {
+		k := r.String()
+		v := r.String()
+		if r.Err() != nil {
+			break
+		}
+		s.data[k] = v
+	}
+	want := r.String()
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	if got := s.Hash(); got != want {
+		return nil, fmt.Errorf("%w: decoded %s, snapshot claims %s", ErrSnapshotMismatch, got, want)
+	}
+	return s, nil
 }
 
 // Hash returns a canonical digest of the state, for cheap cross-replica

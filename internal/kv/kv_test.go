@@ -117,6 +117,81 @@ func TestReplayCollectsRejections(t *testing.T) {
 	}
 }
 
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := NewStore()
+	for _, c := range []string{"SET a 1", "SET b 2", "CAS b 2 3", "DEL a", "SET c 4"} {
+		if err := s.Apply(types.Value(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back, err := DecodeSnapshot(s.EncodeSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != s.Hash() {
+		t.Errorf("hash mismatch after round trip: %s vs %s", back.Hash(), s.Hash())
+	}
+	if back.Applied() != s.Applied() {
+		t.Errorf("applied mismatch: %d vs %d", back.Applied(), s.Applied())
+	}
+}
+
+// TestSnapshotTruncateReplay is the log-truncation correctness property a
+// long-running service rests on: snapshot at a prefix, drop the prefix,
+// replay only the suffix on the decoded snapshot — same state hash as
+// replaying the whole log from genesis.
+func TestSnapshotTruncateReplay(t *testing.T) {
+	log := []smr.Entry{
+		{Slot: 0, Command: types.Value("SET a 1")},
+		{Slot: 1, Command: types.Value("SET b 2")},
+		{Slot: 2, Command: types.Value("CAS a 1 10")},
+		{Slot: 3, Command: types.Value("DEL b")},
+		{Slot: 4, Command: types.Value("SET c 3")},
+		{Slot: 5, Command: types.Value("SET a final")},
+	}
+	full, _ := Replay(log)
+
+	// Snapshot after the first 3 entries, truncate, replay the suffix.
+	prefix, _ := Replay(log[:3])
+	resumed, err := DecodeSnapshot(prefix.EncodeSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Applied() != 3 {
+		t.Fatalf("snapshot applied = %d, want 3", resumed.Applied())
+	}
+	for _, e := range log[3:] {
+		_ = resumed.Apply(e.Command)
+	}
+	if resumed.Hash() != full.Hash() {
+		t.Errorf("snapshot+suffix hash %s != full replay hash %s", resumed.Hash(), full.Hash())
+	}
+	if resumed.Applied() != full.Applied() {
+		t.Errorf("applied %d != %d", resumed.Applied(), full.Applied())
+	}
+}
+
+func TestSnapshotTamperDetected(t *testing.T) {
+	s := NewStore()
+	for _, c := range []string{"SET alpha one", "SET beta two"} {
+		if err := s.Apply(types.Value(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc := s.EncodeSnapshot()
+	// Flip one byte inside a stored value (past the 16-byte header).
+	for i := 20; i < len(enc)-50; i++ {
+		mutated := append([]byte(nil), enc...)
+		mutated[i] ^= 0x01
+		if _, err := DecodeSnapshot(mutated); err == nil {
+			t.Fatalf("flipped byte at offset %d went undetected", i)
+		}
+	}
+	if _, err := DecodeSnapshot(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated snapshot went undetected")
+	}
+}
+
 // TestQuickDeterminism: any command sequence applied to two fresh stores
 // yields identical hashes — the property replication correctness rests on.
 func TestQuickDeterminism(t *testing.T) {

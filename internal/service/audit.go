@@ -1,0 +1,197 @@
+package service
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"adaptiveba/internal/blob"
+	"adaptiveba/internal/wire"
+)
+
+// The audit log is the third corner of the triangle architecture: the
+// blob store holds payloads off-chain, agreement orders constant-size
+// commands, and the audit log binds the two with a hash chain. Every
+// committed write appends one entry whose hash covers its fields AND the
+// previous entry's hash, so the log is tamper-evident end to end: a
+// flipped byte in any entry breaks either its own recomputed hash or the
+// next entry's Prev link, and a flipped byte in any referenced blob
+// breaks the anchor check. Entries are derived purely from the committed
+// log, so every replica's chain is byte-identical.
+
+// Audit ops.
+const (
+	// OpPut records a committed write; Anchor is the value's content
+	// address whether the value traveled inline or anchored.
+	OpPut byte = 1
+	// OpDel records a committed delete; Anchor is zero.
+	OpDel byte = 2
+)
+
+// auditDomain separates audit-entry hashing from every other SHA-256 use
+// in the repo.
+const auditDomain = "adaptiveba/service/audit\x00"
+
+// ErrAuditChain reports a broken audit chain: an entry whose recomputed
+// hash or Prev link does not match what is stored.
+var ErrAuditChain = errors.New("service: audit chain broken")
+
+// AuditEntry is one link of the chain.
+type AuditEntry struct {
+	// Seq is the entry's position in the chain (0-based).
+	Seq int
+	// Slot is the committed log slot the entry records.
+	Slot int
+	// Op is OpPut or OpDel.
+	Op byte
+	// Key is the user key (raw bytes, pre-encoding).
+	Key []byte
+	// Anchor is the value's content address (OpPut) or zero (OpDel).
+	Anchor blob.Ref
+	// Anchored reports whether the value lives in the blob store (true)
+	// or traveled inline through agreement (false).
+	Anchored bool
+	// Prev is the previous entry's Hash (zero for the genesis entry).
+	Prev [32]byte
+	// Hash covers every field above plus Prev.
+	Hash [32]byte
+}
+
+// computeHash derives the entry hash over a domain-separated canonical
+// encoding of all fields except Hash itself.
+func (e *AuditEntry) computeHash() [32]byte {
+	h := sha256.New()
+	io.WriteString(h, auditDomain)
+	w := wire.NewWriter()
+	w.PutInt(e.Seq)
+	w.PutInt(e.Slot)
+	w.PutByte(e.Op)
+	w.PutBytes(e.Key)
+	w.PutBytes(e.Anchor[:])
+	w.PutBool(e.Anchored)
+	w.PutBytes(e.Prev[:])
+	h.Write(w.Bytes())
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Audit is an append-only, fsync'd, hash-chained log file.
+type Audit struct {
+	path    string
+	f       *os.File
+	entries []AuditEntry
+	tip     [32]byte // hash of the last entry (zero when empty)
+}
+
+// OpenAudit opens (creating if needed) the audit log at path, loading
+// and chain-verifying any existing entries. A corrupt existing file
+// fails here rather than silently extending a broken chain.
+func OpenAudit(path string) (*Audit, error) {
+	a := &Audit{path: path}
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("service: open audit: %w", err)
+	}
+	if len(data) > 0 {
+		entries, err := DecodeAuditLog(data)
+		if err != nil {
+			return nil, err
+		}
+		if err := VerifyChain(entries); err != nil {
+			return nil, err
+		}
+		a.entries = entries
+		if n := len(entries); n > 0 {
+			a.tip = entries[n-1].Hash
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: open audit: %w", err)
+	}
+	a.f = f
+	return a, nil
+}
+
+// Close releases the underlying file.
+func (a *Audit) Close() error { return a.f.Close() }
+
+// Len returns the number of chained entries.
+func (a *Audit) Len() int { return len(a.entries) }
+
+// Entries returns the in-memory chain (callers must not mutate).
+func (a *Audit) Entries() []AuditEntry { return a.entries }
+
+// Append chains and durably appends one entry. Seq, Prev, and Hash are
+// assigned here; the caller fills the record fields.
+func (a *Audit) Append(e AuditEntry) (AuditEntry, error) {
+	e.Seq = len(a.entries)
+	e.Prev = a.tip
+	e.Hash = e.computeHash()
+	w := wire.NewWriter()
+	encodeAuditEntry(w, &e)
+	if _, err := a.f.Write(w.Bytes()); err != nil {
+		return e, fmt.Errorf("service: audit append: %w", err)
+	}
+	if err := a.f.Sync(); err != nil {
+		return e, fmt.Errorf("service: audit append: %w", err)
+	}
+	a.entries = append(a.entries, e)
+	a.tip = e.Hash
+	return e, nil
+}
+
+// VerifyChain walks a chain end to end: every entry's hash must recompute
+// and every Prev must equal the prior entry's hash (genesis Prev zero).
+func VerifyChain(entries []AuditEntry) error {
+	var prev [32]byte
+	for i := range entries {
+		e := &entries[i]
+		if e.Seq != i {
+			return fmt.Errorf("%w: entry %d claims seq %d", ErrAuditChain, i, e.Seq)
+		}
+		if e.Prev != prev {
+			return fmt.Errorf("%w: entry %d prev link mismatch", ErrAuditChain, i)
+		}
+		if e.computeHash() != e.Hash {
+			return fmt.Errorf("%w: entry %d hash mismatch", ErrAuditChain, i)
+		}
+		prev = e.Hash
+	}
+	return nil
+}
+
+// VerifyAgainst walks the chain and additionally checks every anchored
+// entry's blob: present in the store and hashing to its anchor. It
+// returns the seqs of entries whose blob check failed (chain breaks
+// still error immediately — a broken chain invalidates everything after
+// the break, not one entry).
+func VerifyAgainst(entries []AuditEntry, blobs *blob.Store) (badBlobs []int, err error) {
+	if err := VerifyChain(entries); err != nil {
+		return nil, err
+	}
+	for i := range entries {
+		e := &entries[i]
+		if e.Op != OpPut || !e.Anchored {
+			continue
+		}
+		if blobs.Verify(e.Anchor) != nil {
+			badBlobs = append(badBlobs, e.Seq)
+		}
+	}
+	return badBlobs, nil
+}
+
+// ReloadFromDisk re-reads and re-verifies the on-disk file — the
+// external auditor's view, used by Verify to catch tampering that
+// happened after entries were cached in memory.
+func (a *Audit) ReloadFromDisk() ([]AuditEntry, error) {
+	data, err := os.ReadFile(a.path)
+	if err != nil {
+		return nil, fmt.Errorf("service: audit reload: %w", err)
+	}
+	return DecodeAuditLog(data)
+}

@@ -1,0 +1,429 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptiveba/internal/transport"
+	"adaptiveba/internal/types"
+)
+
+// ServerConfig parameterizes a Server.
+type ServerConfig struct {
+	// Core configures the replicated state (see Config).
+	Core Config
+	// Addr is the TCP listen address (use "127.0.0.1:0" for tests).
+	Addr string
+	// DedupWindow is how many responses per client are retained for
+	// replay (default 64; a retried (client, seq) inside the window gets
+	// its original response back, one behind the window gets
+	// ErrDuplicate).
+	DedupWindow int
+	// MaxBatch bounds how many writes one flush commits together
+	// (default 4× the core's per-round capacity).
+	MaxBatch int
+	// Chaos, when enabled, injects the transport chaos schedule into the
+	// inbound request path: dropped requests get no response (the client
+	// retries into the dedup window), delayed responses are deferred.
+	Chaos transport.ChaosConfig
+	// Logf, if set, receives server diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// serverReq is one decoded request paired with its connection's outbox.
+type serverReq struct {
+	req  *Request
+	conn *serverConn
+}
+
+// serverConn is the per-connection send side.
+type serverConn struct {
+	out  chan []byte // encoded response frames
+	quit chan struct{}
+}
+
+// send enqueues one encoded response, dropping it if the connection is
+// gone or its outbox is full (drop-not-block, like the mesh outboxes —
+// the client's retry path absorbs the loss).
+func (c *serverConn) send(body []byte) {
+	select {
+	case c.out <- body:
+	case <-c.quit:
+	default:
+	}
+}
+
+// clientWindow retains the last DedupWindow responses of one client.
+type clientWindow struct {
+	resp    map[int][]byte
+	order   []int // insertion order, oldest first
+	evicted int   // highest seq evicted so far (-1 when none)
+}
+
+func newClientWindow() *clientWindow {
+	return &clientWindow{resp: make(map[int][]byte), evicted: -1}
+}
+
+func (w *clientWindow) get(seq int) ([]byte, bool) {
+	b, ok := w.resp[seq]
+	return b, ok
+}
+
+func (w *clientWindow) tooOld(seq int) bool { return seq <= w.evicted }
+
+func (w *clientWindow) put(seq int, body []byte, limit int) {
+	if _, ok := w.resp[seq]; ok {
+		return
+	}
+	w.resp[seq] = body
+	w.order = append(w.order, seq)
+	for len(w.order) > limit {
+		old := w.order[0]
+		w.order = w.order[1:]
+		delete(w.resp, old)
+		if old > w.evicted {
+			w.evicted = old
+		}
+	}
+}
+
+// Server runs the replicated KV service on one TCP listener: client
+// sessions with request dedup, writes batched across clients into ACS
+// commits, reads from replicated state, snapshots for unbounded uptime.
+// All core access is serialized through the run loop.
+type Server struct {
+	cfg  ServerConfig
+	core *Core
+	ln   net.Listener
+
+	reqCh      chan serverReq
+	done       chan struct{}
+	wg         sync.WaitGroup
+	nextClient atomic.Int64
+	windows    map[int]*clientWindow
+	// inflight marks buffered-but-uncommitted (client, seq) writes, so a
+	// fast retransmit (chaos delay, eager client) cannot double-queue an
+	// op before its first copy flushes and its response lands in the
+	// dedup window.
+	inflight  map[int]map[int]bool
+	chaos     *transport.ChaosVerdicts
+	chaosTick types.Tick
+
+	pending     []Op
+	pendingReqs []serverReq
+}
+
+// NewServer builds the core, binds the listener, and starts serving.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.DedupWindow == 0 {
+		cfg.DedupWindow = 64
+	}
+	if cfg.DedupWindow < 1 {
+		return nil, fmt.Errorf("%w: dedup window %d", ErrConfig, cfg.DedupWindow)
+	}
+	core, err := NewCore(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 4 * len(core.honest) * core.cfg.Batch
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		core.Close()
+		return nil, fmt.Errorf("service: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		core:     core,
+		ln:       ln,
+		reqCh:    make(chan serverReq, 256),
+		done:     make(chan struct{}),
+		windows:  make(map[int]*clientWindow),
+		inflight: make(map[int]map[int]bool),
+	}
+	if cfg.Chaos.Enabled() {
+		// The verdict population is the service's replica count; client
+		// IDs fold onto it so every knob (partition parity, flap victims)
+		// exercises the same schedule as the mesh.
+		s.chaos = transport.NewChaosVerdicts(cfg.Chaos, 0, core.cfg.N, time.Millisecond)
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.runLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Core exposes the replicated core for in-process inspection (stats,
+// state hash, verification) — the run loop owns mutation, so callers
+// must treat it as read-only while the server is running.
+func (s *Server) Core() *Core { return s.core }
+
+// Close stops the listener and the run loop and closes the core.
+func (s *Server) Close() error {
+	close(s.done)
+	s.ln.Close()
+	s.wg.Wait()
+	return s.core.Close()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("service: "+format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				s.logf("accept: %v", err)
+				return
+			}
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn handles one client connection: hello handshake, then a
+// read loop feeding the run loop and a write goroutine draining the
+// connection's outbox.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	var fr transport.FrameReader
+	kind, _, err := fr.Read(conn)
+	if err != nil || kind != FrameHello {
+		return
+	}
+	id := int(s.nextClient.Add(1))
+	w := newWelcome(id)
+	if err := transport.WriteFrame(conn, FrameWelcome, w); err != nil {
+		return
+	}
+
+	sc := &serverConn{out: make(chan []byte, 64), quit: make(chan struct{})}
+	defer close(sc.quit)
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case body := <-sc.out:
+				if err := transport.WriteFrame(conn, FrameResponse, body); err != nil {
+					return
+				}
+			case <-sc.quit:
+				return
+			case <-s.done:
+				return
+			}
+		}
+	}()
+
+	for {
+		kind, body, err := fr.Read(conn)
+		if err != nil {
+			return
+		}
+		if kind != FrameRequest {
+			continue
+		}
+		req, err := DecodeRequest(body)
+		if err != nil {
+			s.logf("client %d: %v", id, err)
+			continue
+		}
+		if req.Client != id {
+			continue // requests must carry the session's assigned ID
+		}
+		select {
+		case s.reqCh <- serverReq{req: req, conn: sc}:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// runLoop serializes all core access: it drains whatever requests are
+// queued, buffers writes, and flushes them as one ACS commit.
+func (s *Server) runLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case r := <-s.reqCh:
+			s.handle(r)
+		case <-s.done:
+			return
+		}
+	drain:
+		for len(s.pending) < s.cfg.MaxBatch {
+			select {
+			case r := <-s.reqCh:
+				s.handle(r)
+			default:
+				break drain
+			}
+		}
+		s.flush()
+	}
+}
+
+// handle routes one request: chaos verdict, dedup, then buffer (writes)
+// or serve (reads, verification).
+func (s *Server) handle(r serverReq) {
+	if s.chaos != nil {
+		s.chaosTick++
+		s.chaos.Tick(s.chaosTick)
+		drop, delay := s.chaos.Verdict(types.ProcessID(r.req.Client % s.core.cfg.N))
+		if drop {
+			return // no response; the client's retry re-enters the dedup window
+		}
+		if delay > 0 {
+			// Defer the whole request, preserving dedup semantics when the
+			// retry arrives first.
+			req := r
+			time.AfterFunc(delay, func() {
+				select {
+				case s.reqCh <- req:
+				case <-s.done:
+				}
+			})
+			return
+		}
+	}
+
+	w := s.windows[r.req.Client]
+	if w == nil {
+		w = newClientWindow()
+		s.windows[r.req.Client] = w
+	}
+	if body, ok := w.get(r.req.Seq); ok {
+		r.conn.send(body) // replayed response, not re-executed
+		return
+	}
+	if w.tooOld(r.req.Seq) {
+		s.reply(r, &Response{
+			Seq: r.req.Seq, Status: StatusError, Code: CodeDuplicate,
+			Detail: ErrDuplicate.Error(),
+		})
+		return
+	}
+
+	switch r.req.Op {
+	case ReqPut:
+		if len(r.req.Value) > MaxValue {
+			s.reply(r, errResponse(r.req.Seq, CodeBadRequest, "value exceeds MaxValue"))
+			return
+		}
+		if !s.markInflight(r.req.Client, r.req.Seq) {
+			return // already queued; its flush response will cover the retry
+		}
+		s.pending = append(s.pending, Op{Op: OpPut, Key: r.req.Key, Value: r.req.Value})
+		s.pendingReqs = append(s.pendingReqs, r)
+	case ReqDel:
+		if !s.markInflight(r.req.Client, r.req.Seq) {
+			return
+		}
+		s.pending = append(s.pending, Op{Op: OpDel, Key: r.req.Key})
+		s.pendingReqs = append(s.pendingReqs, r)
+	case ReqGet:
+		s.flush() // reads observe every write queued before them
+		v, err := s.core.Get(r.req.Key)
+		if err != nil {
+			s.reply(r, errResponseFor(r.req.Seq, err))
+			return
+		}
+		s.reply(r, &Response{Seq: r.req.Seq, Status: StatusOK, Value: v})
+	case ReqVerify:
+		s.flush()
+		rep, err := s.core.Verify()
+		resp := &Response{Seq: r.req.Seq, Status: StatusOK, Report: rep}
+		if err != nil {
+			resp.Status = StatusError
+			resp.Code = CodeTampered
+			resp.Detail = err.Error()
+		}
+		s.reply(r, resp)
+	}
+}
+
+// flush commits the buffered writes as one batch and answers them.
+func (s *Server) flush() {
+	if len(s.pending) == 0 {
+		return
+	}
+	ops, reqs := s.pending, s.pendingReqs
+	s.pending, s.pendingReqs = nil, nil
+	_, err := s.core.Commit(ops)
+	for _, r := range reqs {
+		s.clearInflight(r.req.Client, r.req.Seq)
+		if err != nil {
+			s.reply(r, errResponseFor(r.req.Seq, err))
+			continue
+		}
+		s.reply(r, &Response{Seq: r.req.Seq, Status: StatusOK})
+	}
+}
+
+// markInflight records a buffered write; false means the seq is already
+// queued.
+func (s *Server) markInflight(client, seq int) bool {
+	m := s.inflight[client]
+	if m == nil {
+		m = make(map[int]bool)
+		s.inflight[client] = m
+	}
+	if m[seq] {
+		return false
+	}
+	m[seq] = true
+	return true
+}
+
+func (s *Server) clearInflight(client, seq int) {
+	delete(s.inflight[client], seq)
+}
+
+// reply encodes, records for dedup replay, and sends one response.
+func (s *Server) reply(r serverReq, resp *Response) {
+	body := EncodeResponse(resp)
+	if w := s.windows[r.req.Client]; w != nil {
+		w.put(r.req.Seq, body, s.cfg.DedupWindow)
+	}
+	r.conn.send(body)
+}
+
+func errResponse(seq int, code byte, detail string) *Response {
+	return &Response{Seq: seq, Status: StatusError, Code: code, Detail: detail}
+}
+
+// errResponseFor maps a core error to its wire code so the typed
+// sentinel survives to the client.
+func errResponseFor(seq int, err error) *Response {
+	code := CodeNone
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = CodeNotFound
+	case errors.Is(err, ErrTampered):
+		code = CodeTampered
+	case errors.Is(err, ErrDuplicate):
+		code = CodeDuplicate
+	}
+	return errResponse(seq, code, err.Error())
+}

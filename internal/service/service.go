@@ -1,0 +1,444 @@
+// Package service promotes the SMR/kv stack from test harness to a
+// long-running replicated KV service. The Core owns the replicated
+// state: client writes batch into BKR ACS rounds (engine.RunACSLog — n
+// proposers, ≥ n−t committed subset per round), committed commands apply
+// to the kv state machine, and reads serve from that replicated state.
+//
+// Large values take the triangle architecture. A value above InlineMax
+// never enters agreement: it is stored in the content-addressed blob
+// store and only its 32-byte anchor rides the committed command, so the
+// per-request agreement cost is a constant number of digest words
+// regardless of payload size — the paper's word-complexity story held
+// intact under a large-payload workload. Every committed write also
+// appends one record to the hash-chained audit log; Verify walks the
+// chain end to end and re-hashes every anchored blob, so a single
+// flipped byte anywhere in the blob store or the audit file is detected.
+//
+// Snapshots bound memory for unbounded uptime: every SnapshotEvery
+// committed entries the Core encodes the kv state (hash-embedded,
+// self-verifying) and truncates the in-memory log suffix; correctness is
+// pinned by the snapshot+suffix replay tests.
+package service
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"strings"
+
+	"adaptiveba/internal/blob"
+	"adaptiveba/internal/engine"
+	"adaptiveba/internal/kv"
+	"adaptiveba/internal/smr"
+	"adaptiveba/internal/types"
+)
+
+// Typed sentinels; the public API chains these under its error tree.
+var (
+	// ErrTampered reports tamper evidence: a blob or audit record whose
+	// bytes no longer match their digest.
+	ErrTampered = errors.New("service: tamper detected")
+	// ErrDuplicate reports a (client, seq) that fell behind the dedup
+	// window — too old to replay, refused rather than re-executed.
+	ErrDuplicate = errors.New("service: duplicate request outside dedup window")
+	// ErrNotFound reports a missing key.
+	ErrNotFound = errors.New("service: key not found")
+	// ErrNotConverged reports an agreement round that failed to commit
+	// (outside the supported fault model).
+	ErrNotConverged = errors.New("service: agreement round did not converge")
+	// ErrConfig reports an invalid service configuration.
+	ErrConfig = errors.New("service: invalid config")
+)
+
+// Config parameterizes a Core.
+type Config struct {
+	// N is the replica count (default 4). T and F follow the repo's
+	// conventions: T defaults to floor((n-1)/2), F crash faults.
+	N int
+	T int
+	F int
+	// Batch bounds commands per proposer per ACS round (default 8).
+	Batch int
+	// Inflight is the engine's admission window (default 1 — service
+	// rounds are already batched; pipelining is for multi-round calls).
+	Inflight int
+	// Seed drives the per-round engine seeds (round r runs with
+	// Seed+r), keeping long runs deterministic but not identical across
+	// rounds.
+	Seed int64
+	// InlineMax is the largest value committed inline through agreement
+	// (default 256 bytes); anything larger is anchored through the blob
+	// store.
+	InlineMax int
+	// SnapshotEvery triggers a snapshot + log truncation each time that
+	// many entries accumulate since the last snapshot (default 1024;
+	// negative disables).
+	SnapshotEvery int
+	// BlobDir roots the content-addressed store (required).
+	BlobDir string
+	// AuditPath locates the audit log file (required).
+	AuditPath string
+	// MeasureBytes meters encoded payload bytes through the agreement
+	// rounds (Stats.Bytes); words alone weigh every value as 1.
+	MeasureBytes bool
+	// Scheduler picks the engine's admission policy ("" = static).
+	Scheduler engine.Scheduler
+}
+
+// Stats accumulates the service's agreement-side cost counters.
+type Stats struct {
+	// Rounds is the number of ACS rounds committed.
+	Rounds int
+	// Committed counts committed commands.
+	Committed int
+	// Words / Messages / Bytes are honest-send totals across all rounds
+	// (Bytes only when MeasureBytes).
+	Words    int64
+	Messages int64
+	Bytes    int64
+	// Snapshots counts snapshot+truncate events; Truncated counts log
+	// entries dropped by them.
+	Snapshots int
+	Truncated int
+}
+
+// Core is the replicated service state. It is not goroutine-safe: the
+// server serializes all access through one goroutine.
+type Core struct {
+	cfg   Config
+	store *kv.Store
+	blobs *blob.Store
+	audit *Audit
+
+	log      []smr.Entry // suffix since the last snapshot
+	snapshot []byte      // last kv.EncodeSnapshot (nil before the first)
+	slots    int         // global committed-entry count (log renumbering base)
+	honest   []int       // proposer IDs that are not in the crash set
+	stats    Stats
+}
+
+// NewCore opens the stores and builds a core.
+func NewCore(cfg Config) (*Core, error) {
+	if cfg.N == 0 {
+		cfg.N = 4
+	}
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrConfig, cfg.N)
+	}
+	if cfg.T == 0 {
+		cfg.T = (cfg.N - 1) / 2
+	}
+	if cfg.F < 0 || cfg.F > cfg.T {
+		return nil, fmt.Errorf("%w: f=%d with t=%d", ErrConfig, cfg.F, cfg.T)
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 8
+	}
+	if cfg.Batch < 1 {
+		return nil, fmt.Errorf("%w: batch=%d", ErrConfig, cfg.Batch)
+	}
+	if cfg.Inflight == 0 {
+		cfg.Inflight = 1
+	}
+	if cfg.InlineMax == 0 {
+		cfg.InlineMax = 256
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 1024
+	}
+	if cfg.BlobDir == "" || cfg.AuditPath == "" {
+		return nil, fmt.Errorf("%w: BlobDir and AuditPath are required", ErrConfig)
+	}
+	blobs, err := blob.Open(cfg.BlobDir)
+	if err != nil {
+		return nil, err
+	}
+	audit, err := OpenAudit(cfg.AuditPath)
+	if err != nil {
+		return nil, err
+	}
+	c := &Core{cfg: cfg, store: kv.NewStore(), blobs: blobs, audit: audit}
+	// The engine's crash set is IDs 1..F; only honest proposers carry
+	// client commands, so every accepted command commits (a crashed
+	// proposer's batch is excluded from the round's subset).
+	for id := 0; id < cfg.N; id++ {
+		if id >= 1 && id <= cfg.F {
+			continue
+		}
+		c.honest = append(c.honest, id)
+	}
+	return c, nil
+}
+
+// Close releases the audit file.
+func (c *Core) Close() error { return c.audit.Close() }
+
+// Stats returns the accumulated cost counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// StateHash returns the kv state digest.
+func (c *Core) StateHash() string { return c.store.Hash() }
+
+// LogLen returns the retained (post-snapshot) log length; Slots the
+// global committed-entry count.
+func (c *Core) LogLen() int { return len(c.log) }
+func (c *Core) Slots() int  { return c.slots }
+
+// Snapshot returns the last snapshot encoding (nil before the first).
+func (c *Core) Snapshot() []byte { return c.snapshot }
+
+// Audit exposes the chained audit log (read-only for callers).
+func (c *Core) Audit() *Audit { return c.audit }
+
+// Command encoding: kv commands are whitespace-split, so keys and values
+// travel base64url (no padding, no spaces). Values carry a one-byte
+// tag — i: inline payload, a: hex anchor into the blob store.
+func encKey(key []byte) string { return base64.RawURLEncoding.EncodeToString(key) }
+
+func encInline(value []byte) string {
+	return "i:" + base64.RawURLEncoding.EncodeToString(value)
+}
+
+func encAnchor(ref blob.Ref) string { return "a:" + ref.String() }
+
+// decodeStored resolves a stored kv value back to payload bytes,
+// fetching (and content-verifying) anchored values from the blob store.
+func (c *Core) decodeStored(stored string) ([]byte, bool, error) {
+	switch {
+	case strings.HasPrefix(stored, "i:"):
+		v, err := base64.RawURLEncoding.DecodeString(stored[2:])
+		if err != nil {
+			return nil, false, fmt.Errorf("%w: inline value corrupt: %v", ErrTampered, err)
+		}
+		return v, false, nil
+	case strings.HasPrefix(stored, "a:"):
+		ref, err := blob.ParseRef(stored[2:])
+		if err != nil {
+			return nil, true, fmt.Errorf("%w: bad anchor: %v", ErrTampered, err)
+		}
+		v, err := c.blobs.Get(ref)
+		if errors.Is(err, blob.ErrTampered) || errors.Is(err, blob.ErrNotFound) {
+			return nil, true, fmt.Errorf("%w: %v", ErrTampered, err)
+		}
+		return v, true, err
+	default:
+		return nil, false, fmt.Errorf("%w: unrecognized stored value", ErrTampered)
+	}
+}
+
+// Op is one client write to commit.
+type Op struct {
+	Op    byte // OpPut or OpDel
+	Key   []byte
+	Value []byte // OpPut only
+}
+
+// commandFor encodes one op as a kv command, anchoring large values.
+func (c *Core) commandFor(op Op) (types.Value, error) {
+	switch op.Op {
+	case OpPut:
+		if len(op.Value) > c.cfg.InlineMax {
+			ref, err := c.blobs.Put(op.Value)
+			if err != nil {
+				return nil, err
+			}
+			return types.Value("SET " + encKey(op.Key) + " " + encAnchor(ref)), nil
+		}
+		return types.Value("SET " + encKey(op.Key) + " " + encInline(op.Value)), nil
+	case OpDel:
+		return types.Value("DEL " + encKey(op.Key)), nil
+	default:
+		return nil, fmt.Errorf("%w: op %d", ErrConfig, op.Op)
+	}
+}
+
+// Commit drives one batch of writes through agreement: the ops spread
+// round-robin over the honest proposers' queues, as many ACS rounds as
+// the batch bound requires run in one engine call, committed entries
+// renumber into the global log, apply to the kv store, and append audit
+// records. Returns the committed entry count.
+func (c *Core) Commit(ops []Op) (int, error) {
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	queues := make([][]types.Value, c.cfg.N)
+	for i, op := range ops {
+		cmd, err := c.commandFor(op)
+		if err != nil {
+			return 0, err
+		}
+		p := c.honest[i%len(c.honest)]
+		queues[p] = append(queues[p], cmd)
+	}
+	perRound := len(c.honest) * c.cfg.Batch
+	rounds := (len(ops) + perRound - 1) / perRound
+
+	rep, err := engine.RunACSLog(engine.Config{
+		N: c.cfg.N, T: c.cfg.T, F: c.cfg.F,
+		Inflight:     c.cfg.Inflight,
+		Seed:         c.cfg.Seed + int64(c.stats.Rounds),
+		Scheduler:    c.cfg.Scheduler,
+		MeasureBytes: c.cfg.MeasureBytes,
+	}, queues, rounds, c.cfg.Batch)
+	if err != nil {
+		return 0, err
+	}
+	if !rep.Converged {
+		return 0, ErrNotConverged
+	}
+	if rep.Committed < len(ops) {
+		return 0, fmt.Errorf("%w: %d of %d commands committed", ErrNotConverged, rep.Committed, len(ops))
+	}
+
+	for _, e := range rep.Entries {
+		slot := c.slots
+		entry := smr.Entry{Slot: slot, Proposer: e.Proposer, Command: e.Command}
+		if err := c.applyEntry(entry); err != nil {
+			return 0, err
+		}
+		c.log = append(c.log, entry)
+		c.slots++
+	}
+	c.stats.Rounds += len(rep.Rounds)
+	c.stats.Committed += rep.Committed
+	c.stats.Words += rep.Engine.Metrics.Honest.Words
+	c.stats.Messages += rep.Engine.Metrics.Honest.Messages
+	c.stats.Bytes += rep.Engine.Metrics.Honest.Bytes
+	if err := c.maybeSnapshot(); err != nil {
+		return 0, err
+	}
+	return rep.Committed, nil
+}
+
+// applyEntry applies one committed command to the kv store and appends
+// its audit record. Audit records derive purely from committed entries,
+// so replicas reconstruct identical chains.
+func (c *Core) applyEntry(e smr.Entry) error {
+	_ = c.store.Apply(e.Command) // malformed commands skip deterministically
+	fields := strings.Fields(string(e.Command))
+	if len(fields) < 2 {
+		return nil
+	}
+	key, err := base64.RawURLEncoding.DecodeString(fields[1])
+	if err != nil {
+		return nil // not a service-encoded command; nothing to audit
+	}
+	rec := AuditEntry{Slot: e.Slot, Key: key}
+	switch fields[0] {
+	case "SET":
+		if len(fields) != 3 {
+			return nil
+		}
+		rec.Op = OpPut
+		switch {
+		case strings.HasPrefix(fields[2], "i:"):
+			v, err := base64.RawURLEncoding.DecodeString(fields[2][2:])
+			if err != nil {
+				return nil
+			}
+			rec.Anchor = anchorOf(v)
+		case strings.HasPrefix(fields[2], "a:"):
+			ref, err := blob.ParseRef(fields[2][2:])
+			if err != nil {
+				return nil
+			}
+			rec.Anchor = ref
+			rec.Anchored = true
+		default:
+			return nil
+		}
+	case "DEL":
+		rec.Op = OpDel
+	default:
+		return nil
+	}
+	_, err = c.audit.Append(rec)
+	return err
+}
+
+// maybeSnapshot snapshots and truncates once enough entries accumulate.
+func (c *Core) maybeSnapshot() error {
+	if c.cfg.SnapshotEvery < 0 || len(c.log) < c.cfg.SnapshotEvery {
+		return nil
+	}
+	return c.SnapshotNow()
+}
+
+// SnapshotNow unconditionally snapshots the kv state and truncates the
+// retained log suffix. The snapshot embeds its own state hash, so a
+// later restore is self-verifying (kv.ErrSnapshotMismatch).
+func (c *Core) SnapshotNow() error {
+	c.snapshot = c.store.EncodeSnapshot()
+	if _, err := kv.DecodeSnapshot(c.snapshot); err != nil {
+		return err // never truncate on an unrestorable snapshot
+	}
+	c.stats.Snapshots++
+	c.stats.Truncated += len(c.log)
+	c.log = nil
+	return nil
+}
+
+// Get resolves a key from replicated state, fetching anchored values
+// from the blob store with content verification.
+func (c *Core) Get(key []byte) ([]byte, error) {
+	stored, ok := c.store.Get(encKey(key))
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	v, _, err := c.decodeStored(stored)
+	return v, err
+}
+
+// Verify is the end-to-end tamper-evidence walk: re-read the audit file
+// from disk, recompute the whole hash chain, and re-hash every anchored
+// blob. Any flipped byte in either store surfaces here.
+func (c *Core) Verify() (*VerifyReport, error) {
+	rep := &VerifyReport{StateHash: c.store.Hash()}
+	entries, err := c.audit.ReloadFromDisk()
+	if err != nil {
+		return rep, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	rep.Entries = len(entries)
+	refs, err := c.blobs.Refs()
+	if err != nil {
+		return rep, err
+	}
+	rep.Blobs = len(refs)
+	badSeqs, err := VerifyAgainst(entries, c.blobs)
+	if err != nil {
+		return rep, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	rep.ChainOK = true
+	rep.BadSeqs = badSeqs
+	rep.BadBlobs = len(badSeqs)
+	if rep.BadBlobs > 0 {
+		return rep, fmt.Errorf("%w: %d anchored blobs failed verification", ErrTampered, rep.BadBlobs)
+	}
+	// Chain and anchors are clean; also sweep unreferenced blobs.
+	if bad, err := c.blobs.VerifyAll(); err != nil {
+		return rep, err
+	} else if len(bad) > 0 {
+		return rep, fmt.Errorf("%w: %d stored blobs failed verification", ErrTampered, len(bad))
+	}
+	return rep, nil
+}
+
+// Restore rebuilds a store from the snapshot plus the retained log
+// suffix — the recovery path a replica would take after truncation. It
+// returns the rebuilt store's hash (which must equal StateHash()).
+func (c *Core) Restore() (string, error) {
+	var s *kv.Store
+	if c.snapshot == nil {
+		s = kv.NewStore()
+	} else {
+		var err error
+		s, err = kv.DecodeSnapshot(c.snapshot)
+		if err != nil {
+			return "", err
+		}
+	}
+	for _, e := range c.log {
+		_ = s.Apply(e.Command)
+	}
+	return s.Hash(), nil
+}

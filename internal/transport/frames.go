@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"io"
+	"time"
+
+	"adaptiveba/internal/types"
+)
+
+// This file exports the transport's framing and chaos-verdict primitives
+// for other subsystems that speak the same wire format over their own
+// connections — concretely internal/service, whose client/server path
+// reuses the [len u32][kind u8][body] frame, the hostile-length bounds,
+// and the seeded chaos schedule without owning a full mesh Node.
+
+// ServiceFrameBase is the first frame kind available to non-mesh users.
+// Kinds below it are reserved for the mesh handshake and data plane
+// (hello/ready/msg), so a service speaking over the same framing can
+// never collide with them.
+const ServiceFrameBase byte = 16
+
+// MaxFrame is the frame-size bound enforced by both WriteFrame readers
+// and FrameReader: length prefixes beyond it fail before any allocation.
+const MaxFrame = maxFrame
+
+// WriteFrame emits one [len u32][kind][body] frame in a single write
+// from a pooled buffer — the same frame format the mesh speaks.
+func WriteFrame(w io.Writer, kind byte, body []byte) error {
+	return writeFrame(w, kind, body)
+}
+
+// FrameReader reads frames written by WriteFrame, reusing one grow-only
+// buffer across frames and bounding allocation against hostile length
+// prefixes (see frameReader.read). The zero value is ready to use.
+type FrameReader struct {
+	fr frameReader
+}
+
+// Read returns the next frame's kind and body. The body aliases the
+// reader's internal buffer and is valid only until the next Read call.
+func (f *FrameReader) Read(r io.Reader) (byte, []byte, error) {
+	return f.fr.read(r)
+}
+
+// ChaosVerdicts exposes the chaos schedule's pure decision core to
+// non-mesh paths. Where the mesh's chaos layer both decides and applies
+// (deferring frames into peer outboxes), a ChaosVerdicts user asks for
+// the verdict and handles the drop or delay itself — the service's
+// server, for instance, drops or defers inbound client request frames.
+// Determinism matches the mesh layer: the verdict sequence is a pure
+// function of the seed.
+type ChaosVerdicts struct {
+	c *chaos
+}
+
+// NewChaosVerdicts builds a verdict stream for one endpoint. self/n give
+// the endpoint's identity and population (used by partition parity and
+// flap victim selection); tick is the interval MaxDelay defaults
+// against.
+func NewChaosVerdicts(cfg ChaosConfig, self types.ProcessID, n int, tick time.Duration) *ChaosVerdicts {
+	return &ChaosVerdicts{c: newChaos(cfg, self, n, tick, nil)}
+}
+
+// Tick advances the chaos clock; partition and flap windows are
+// tick-indexed.
+func (v *ChaosVerdicts) Tick(now types.Tick) { v.c.tick(now) }
+
+// Verdict decides one frame's fate: deliver (false, 0), drop (true, 0),
+// or deliver after the returned delay.
+func (v *ChaosVerdicts) Verdict(to types.ProcessID) (drop bool, delay time.Duration) {
+	return v.c.verdict(to)
+}

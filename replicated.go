@@ -45,9 +45,10 @@ type LogResult struct {
 // It demonstrates the paper's payoff at the system level — a failure-free
 // deployment commits each command for O(n) words instead of Θ(n²).
 //
-// Prefer ReplicateLogContext, which adds cancellation, functional
-// options, and pipelined slots (WithInflight); this struct form is kept
-// for existing callers.
+// Deprecated: Use ReplicateLogContext, which adds cancellation,
+// functional options, and pipelined slots (WithInflight); this struct
+// form is kept for existing callers and pinned byte-identical by
+// TestAPIParityReplicateLog.
 func ReplicateLog(opts Options, queues [][][]byte, slots int) (*LogResult, error) {
 	return replicateLogRun(opts, nil, queues, slots)
 }
