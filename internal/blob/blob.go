@@ -6,8 +6,9 @@
 // of digest words regardless of payload size.
 //
 // Durability follows the write-then-rename discipline: a payload is
-// written to a temp file, fsync'd, and renamed to its content address,
-// so a crash never leaves a partially written blob under a valid key.
+// written to a temp file, fsync'd, renamed to its content address, and
+// the directory entry fsync'd, so a crash never leaves a partially
+// written blob under a valid key nor loses an acknowledged one.
 // Reads re-hash the payload before returning it — a flipped byte on disk
 // surfaces as ErrTampered, never as silently corrupt data.
 package blob
@@ -74,13 +75,18 @@ func (s *Store) Dir() string { return s.dir }
 func (s *Store) path(r Ref) string { return filepath.Join(s.dir, r.String()) }
 
 // Put stores a payload and returns its content address. Storing the same
-// bytes twice is free: the existing blob is kept. New blobs are written
-// to a temp file, fsync'd, and renamed into place.
+// bytes twice is free: the existing blob is kept — but only after its
+// bytes re-verify, so a blob corrupted on disk is repaired rather than
+// silently acknowledged. New blobs are written to a temp file, fsync'd,
+// renamed into place, and the directory is fsync'd so the entry itself
+// survives a crash.
 func (s *Store) Put(data []byte) (Ref, error) {
 	r := Sum(data)
-	if _, err := os.Stat(s.path(r)); err == nil {
-		return r, nil // dedup: content already stored
+	if prev, err := os.ReadFile(s.path(r)); err == nil && Sum(prev) == r {
+		return r, nil // dedup: intact copy already stored
 	}
+	// Missing or corrupt: write via temp+rename, which is idempotent and
+	// atomically replaces a corrupt copy.
 	s.seq++
 	tmp := filepath.Join(s.dir, fmt.Sprintf(".tmp-%d-%d", os.Getpid(), s.seq))
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
@@ -102,7 +108,24 @@ func (s *Store) Put(data []byte) (Ref, error) {
 		os.Remove(tmp)
 		return r, fmt.Errorf("blob: put: %w", err)
 	}
+	if err := s.syncDir(); err != nil {
+		return r, fmt.Errorf("blob: put: %w", err)
+	}
 	return r, nil
+}
+
+// syncDir fsyncs the store directory so a just-renamed entry is durable
+// across a crash, completing the write-then-rename discipline.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Get reads a payload back by ref, re-verifying the content address

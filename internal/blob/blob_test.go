@@ -101,6 +101,38 @@ func TestTamperedBlobDetected(t *testing.T) {
 	}
 }
 
+// TestPutRepairsCorruptBlob: re-storing bytes whose on-disk copy was
+// corrupted must rewrite the blob, not ack the corrupt copy as durable.
+func TestPutRepairsCorruptBlob(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("payload to corrupt then re-put")
+	ref, err := s.Put(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, ref.String())
+	if err := os.WriteFile(path, []byte("corrupted on disk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ref); !errors.Is(err, ErrTampered) {
+		t.Fatalf("want ErrTampered before repair, got %v", err)
+	}
+	if _, err := s.Put(payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(ref)
+	if err != nil {
+		t.Fatalf("blob not repaired by Put: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("repaired payload mismatch: %q", got)
+	}
+}
+
 func TestRefParseRoundTrip(t *testing.T) {
 	ref := Sum([]byte("abc"))
 	back, err := ParseRef(ref.String())

@@ -35,9 +35,12 @@ type ServerConfig struct {
 }
 
 // serverReq is one decoded request paired with its connection's outbox.
+// A bye tombstone (bye != 0, req == nil) tells the run loop the session
+// ended so its dedup state can be dropped.
 type serverReq struct {
 	req  *Request
 	conn *serverConn
+	bye  int
 }
 
 // serverConn is the per-connection send side.
@@ -76,6 +79,12 @@ func (w *clientWindow) get(seq int) ([]byte, bool) {
 func (w *clientWindow) tooOld(seq int) bool { return seq <= w.evicted }
 
 func (w *clientWindow) put(seq int, body []byte, limit int) {
+	if seq <= w.evicted {
+		// A retransmit of a seq already behind the window must not
+		// re-enter it: that would evict a fresher response a pending
+		// retry may still need.
+		return
+	}
 	if _, ok := w.resp[seq]; ok {
 		return
 	}
@@ -100,9 +109,22 @@ type Server struct {
 	core *Core
 	ln   net.Listener
 
-	reqCh      chan serverReq
-	done       chan struct{}
-	wg         sync.WaitGroup
+	reqCh chan serverReq
+	// inspectCh carries read-only closures the run loop executes against
+	// the core, serializing external reads with all mutation.
+	inspectCh chan func(*Core)
+	done      chan struct{}
+	// runDone closes when the run loop exits; after that, direct core
+	// reads are race-free.
+	runDone chan struct{}
+	wg      sync.WaitGroup
+	// connMu guards conns and closed: every live client connection is
+	// tracked so Close can unblock their reader goroutines.
+	connMu     sync.Mutex
+	conns      map[net.Conn]struct{}
+	closed     bool
+	closeOnce  sync.Once
+	closeErr   error
 	nextClient atomic.Int64
 	windows    map[int]*clientWindow
 	// inflight marks buffered-but-uncommitted (client, seq) writes, so a
@@ -138,13 +160,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("service: listen %s: %w", cfg.Addr, err)
 	}
 	s := &Server{
-		cfg:      cfg,
-		core:     core,
-		ln:       ln,
-		reqCh:    make(chan serverReq, 256),
-		done:     make(chan struct{}),
-		windows:  make(map[int]*clientWindow),
-		inflight: make(map[int]map[int]bool),
+		cfg:       cfg,
+		core:      core,
+		ln:        ln,
+		reqCh:     make(chan serverReq, 256),
+		inspectCh: make(chan func(*Core)),
+		done:      make(chan struct{}),
+		runDone:   make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		windows:   make(map[int]*clientWindow),
+		inflight:  make(map[int]map[int]bool),
 	}
 	if cfg.Chaos.Enabled() {
 		// The verdict population is the service's replica count; client
@@ -161,17 +186,78 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Core exposes the replicated core for in-process inspection (stats,
-// state hash, verification) — the run loop owns mutation, so callers
-// must treat it as read-only while the server is running.
+// Core exposes the replicated core for in-process inspection. The run
+// loop owns the core while the server is running, so direct access is
+// only race-free after Close returns; use Inspect or Stats on a live
+// server.
 func (s *Server) Core() *Core { return s.core }
 
-// Close stops the listener and the run loop and closes the core.
+// Inspect runs fn against the core with all mutation excluded: on a
+// live server it executes on the run loop, after shutdown it runs
+// directly (the run loop has exited, so the access is ordered). fn must
+// only read.
+func (s *Server) Inspect(fn func(*Core)) {
+	ran := make(chan struct{})
+	select {
+	case s.inspectCh <- func(c *Core) { fn(c); close(ran) }:
+		select {
+		case <-ran:
+		case <-s.runDone:
+			// The run loop exited without executing fn (runDone closes
+			// only after the loop returns, so it cannot be mid-fn).
+			select {
+			case <-ran:
+			default:
+				fn(s.core)
+			}
+		}
+	case <-s.runDone:
+		fn(s.core)
+	}
+}
+
+// Stats returns the core's cost counters, serialized with the run loop.
+func (s *Server) Stats() Stats {
+	var st Stats
+	s.Inspect(func(c *Core) { st = c.Stats() })
+	return st
+}
+
+// track registers a live client connection so Close can unblock its
+// reader; false means the server is already shutting down.
+func (s *Server) track(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+}
+
+// Close stops the listener, closes every live client connection (so
+// reader goroutines blocked on their sockets return), waits for all
+// goroutines, and closes the core. Safe to call more than once.
 func (s *Server) Close() error {
-	close(s.done)
-	s.ln.Close()
-	s.wg.Wait()
-	return s.core.Close()
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.ln.Close()
+		s.connMu.Lock()
+		s.closed = true
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.connMu.Unlock()
+		s.wg.Wait()
+		s.closeErr = s.core.Close()
+	})
+	return s.closeErr
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -204,6 +290,10 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
+	if !s.track(conn) {
+		return // lost the race with Close
+	}
+	defer s.untrack(conn)
 
 	var fr transport.FrameReader
 	kind, _, err := fr.Read(conn)
@@ -217,6 +307,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 
 	sc := &serverConn{out: make(chan []byte, 64), quit: make(chan struct{})}
+	// On exit: close quit first (LIFO), then tell the run loop the
+	// session ended so its dedup window and inflight marks are freed —
+	// with quit already closed, any request of this session still in
+	// flight (chaos-delayed requeues included) is dropped rather than
+	// resurrecting the state.
+	defer func() {
+		select {
+		case s.reqCh <- serverReq{bye: id}:
+		case <-s.done:
+		}
+	}()
 	defer close(sc.quit)
 
 	s.wg.Add(1)
@@ -264,10 +365,13 @@ func (s *Server) serveConn(conn net.Conn) {
 // queued, buffers writes, and flushes them as one ACS commit.
 func (s *Server) runLoop() {
 	defer s.wg.Done()
+	defer close(s.runDone)
 	for {
 		select {
 		case r := <-s.reqCh:
 			s.handle(r)
+		case fn := <-s.inspectCh:
+			fn(s.core)
 		case <-s.done:
 			return
 		}
@@ -287,6 +391,18 @@ func (s *Server) runLoop() {
 // handle routes one request: chaos verdict, dedup, then buffer (writes)
 // or serve (reads, verification).
 func (s *Server) handle(r serverReq) {
+	if r.bye != 0 {
+		// Session ended: free its dedup window and inflight marks. A
+		// reconnect gets a fresh ID, so nothing can still need them.
+		delete(s.windows, r.bye)
+		delete(s.inflight, r.bye)
+		return
+	}
+	select {
+	case <-r.conn.quit:
+		return // session already gone; don't resurrect its dedup state
+	default:
+	}
 	if s.chaos != nil {
 		s.chaosTick++
 		s.chaos.Tick(s.chaosTick)

@@ -33,6 +33,20 @@ func testCore(t *testing.T, mut func(*Config)) *Core {
 	return c
 }
 
+// coreSlots / coreAuditLen read a live server's core through Inspect so
+// the reads are serialized with the run loop (clean under -race).
+func coreSlots(s *Server) int {
+	var n int
+	s.Inspect(func(c *Core) { n = c.Slots() })
+	return n
+}
+
+func coreAuditLen(s *Server) int {
+	var n int
+	s.Inspect(func(c *Core) { n = c.Audit().Len() })
+	return n
+}
+
 func TestCoreCommitGet(t *testing.T) {
 	c := testCore(t, nil)
 	small := []byte("small")
@@ -348,8 +362,8 @@ func TestServerTwoClients(t *testing.T) {
 	if rep, err := c1.Verify(); err != nil || !rep.OK() {
 		t.Fatalf("verify after concurrent clients: %v", err)
 	}
-	if s.Core().Slots() != 10 {
-		t.Fatalf("slots = %d, want 10", s.Core().Slots())
+	if n := coreSlots(s); n != 10 {
+		t.Fatalf("slots = %d, want 10", n)
 	}
 }
 
@@ -365,8 +379,8 @@ func TestDedupReplay(t *testing.T) {
 	if err := c.Put([]byte("k"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	slotsAfter := s.Core().Slots()
-	auditAfter := s.Core().Audit().Len()
+	slotsAfter := coreSlots(s)
+	auditAfter := coreAuditLen(s)
 
 	// Re-send the exact same (client, seq) request over the raw frame
 	// path — what a retrying client does after a lost response.
@@ -386,11 +400,11 @@ func TestDedupReplay(t *testing.T) {
 	if resp.Seq != 1 || resp.Status != StatusOK {
 		t.Fatalf("replayed response: %+v", resp)
 	}
-	if s.Core().Slots() != slotsAfter {
-		t.Fatalf("duplicate re-executed: slots %d → %d", slotsAfter, s.Core().Slots())
+	if n := coreSlots(s); n != slotsAfter {
+		t.Fatalf("duplicate re-executed: slots %d → %d", slotsAfter, n)
 	}
-	if s.Core().Audit().Len() != auditAfter {
-		t.Fatalf("duplicate re-appended audit: %d → %d", auditAfter, s.Core().Audit().Len())
+	if n := coreAuditLen(s); n != auditAfter {
+		t.Fatalf("duplicate re-appended audit: %d → %d", auditAfter, n)
 	}
 }
 
@@ -453,11 +467,84 @@ func TestServerUnderChaos(t *testing.T) {
 		}
 	}
 	// Every put must have committed exactly once despite retries.
-	if s.Core().Slots() != 8 {
-		t.Fatalf("slots = %d, want 8 (dedup failed under chaos)", s.Core().Slots())
+	if n := coreSlots(s); n != 8 {
+		t.Fatalf("slots = %d, want 8 (dedup failed under chaos)", n)
 	}
 	if rep, err := c.Verify(); err != nil || !rep.OK() {
 		t.Fatalf("verify under chaos: %v", err)
+	}
+}
+
+// TestDedupWindowRejectsAncientSeq: recording a response for a seq
+// already behind the window must not re-enter it and evict a fresher
+// response a pending retry may still need.
+func TestDedupWindowRejectsAncientSeq(t *testing.T) {
+	w := newClientWindow()
+	w.put(1, []byte("r1"), 2)
+	w.put(2, []byte("r2"), 2)
+	w.put(3, []byte("r3"), 2) // evicts seq 1
+	w.put(1, []byte("stale"), 2)
+	if _, ok := w.get(1); ok {
+		t.Fatal("ancient seq re-entered the window")
+	}
+	for seq := 2; seq <= 3; seq++ {
+		if _, ok := w.get(seq); !ok {
+			t.Fatalf("fresh seq %d evicted by an ancient retransmit", seq)
+		}
+	}
+}
+
+// TestCloseWithIdleClient: Close must close live client connections so
+// reader goroutines parked in fr.Read return, instead of deadlocking in
+// wg.Wait while a client sits idle.
+func TestCloseWithIdleClient(t *testing.T) {
+	s := startServer(t, nil)
+	c, err := Dial(s.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close deadlocked with an idle client connected")
+	}
+}
+
+// TestSessionStateFreedOnDisconnect: a departed client's dedup window
+// and inflight marks must be dropped, not retained for the server's
+// unbounded lifetime.
+func TestSessionStateFreedOnDisconnect(t *testing.T) {
+	s := startServer(t, nil)
+	c, err := Dial(s.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	var before int
+	s.Inspect(func(*Core) { before = len(s.windows) })
+	if before != 1 {
+		t.Fatalf("windows before disconnect = %d, want 1", before)
+	}
+	c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var retained int
+		s.Inspect(func(*Core) { retained = len(s.windows) + len(s.inflight) })
+		if retained == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session state retained after disconnect: %d entries", retained)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -471,7 +558,7 @@ func TestServerStatsAccumulate(t *testing.T) {
 	if err := c.Put([]byte("k"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	st := s.Core().Stats()
+	st := s.Stats()
 	if st.Rounds == 0 || st.Committed == 0 || st.Words == 0 || st.Bytes == 0 {
 		t.Fatalf("stats not accumulating: %+v", st)
 	}

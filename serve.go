@@ -201,10 +201,11 @@ func ServeContext(ctx context.Context, addr string, opts ...ServeOption) (*Servi
 func (s *Service) Addr() string { return s.srv.Addr() }
 
 // Stats returns the service's accumulated agreement-side cost counters.
-// It reads the replicated core, so treat the numbers as a snapshot —
-// concurrent commits may already have moved them.
+// The read is serialized with the commit loop, so the numbers are a
+// consistent snapshot — though concurrent commits may move them the
+// moment it returns.
 func (s *Service) Stats() ServiceStats {
-	st := s.srv.Core().Stats()
+	st := s.srv.Stats()
 	return ServiceStats{
 		Rounds: st.Rounds, Committed: st.Committed,
 		Words: st.Words, Messages: st.Messages, Bytes: st.Bytes,
